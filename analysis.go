@@ -1,0 +1,89 @@
+package backscatter
+
+import (
+	"dnsbackscatter/internal/analysis"
+	"dnsbackscatter/internal/groundtruth"
+)
+
+// Analysis types, re-exported from the measurement layer (§VI).
+type (
+	// FootprintPoint is one point of the footprint CCDF (Figure 9).
+	FootprintPoint = analysis.FootprintPoint
+	// ChurnPoint is one week of scanner churn (Figure 15).
+	ChurnPoint = analysis.ChurnPoint
+	// TeamStats summarizes /24 scanner co-location (§VI-B).
+	TeamStats = analysis.TeamStats
+	// BoxStats are box-plot quantiles (Figure 12).
+	BoxStats = analysis.BoxStats
+	// Evidence is external-source state for one originator (Tables VII/VIII).
+	Evidence = groundtruth.Evidence
+)
+
+// FootprintCCDF computes the footprint-size distribution of a snapshot.
+func FootprintCCDF(s *Snapshot) []FootprintPoint {
+	return analysis.FootprintCCDF(s.Vectors)
+}
+
+// ClassCounts tallies classified originators per class (Table V).
+func ClassCounts(classes map[Addr]Class) [NumClasses]int {
+	return analysis.ClassCounts(classes)
+}
+
+// ClassFractions returns per-class shares among the top-n originators
+// (Figure 10).
+func ClassFractions(classes map[Addr]Class, ranked []Addr, n int) [NumClasses]float64 {
+	return analysis.ClassFractions(classes, ranked, n)
+}
+
+// Churn computes week-by-week membership churn for one class (Figure 15).
+func Churn(perWeek []map[Addr]Class, cls Class) []ChurnPoint {
+	return analysis.Churn(perWeek, cls)
+}
+
+// ScannerTeams analyzes /24 co-location of classified originators.
+func ScannerTeams(classes map[Addr]Class, minMembers int) TeamStats {
+	return analysis.ScannerTeams(classes, minMembers)
+}
+
+// ConsistencyCDF returns sorted majority-class ratios r over originators
+// present in at least minWeeks weekly classifications (Figure 8).
+func ConsistencyCDF(perWeek []map[Addr]Class, minWeeks int) []float64 {
+	return analysis.ConsistencyCDF(perWeek, minWeeks)
+}
+
+// FractionAtLeast returns the share of sorted values >= x.
+func FractionAtLeast(sorted []float64, x float64) float64 {
+	return analysis.FractionAtLeast(sorted, x)
+}
+
+// PowerLawFit fits y = c·x^alpha in log-log space (Figure 4's fit line).
+func PowerLawFit(xs, ys []float64) (c, alpha float64) {
+	return analysis.PowerLawFit(xs, ys)
+}
+
+// Quantiles computes box-plot statistics (Figure 12).
+func Quantiles(xs []float64) BoxStats { return analysis.Quantiles(xs) }
+
+// TimeSeries buckets one originator's query counts over time (Figures 13
+// and 16).
+func TimeSeries(recs []Record, orig Addr, start Time, total, bucket Duration) []int {
+	return analysis.TimeSeries(recs, orig, start, total, bucket)
+}
+
+// UniqueQueriersPerWeek is an originator's weekly footprint series
+// (Figure 13).
+func UniqueQueriersPerWeek(recs []Record, orig Addr, start Time, weeks int) []int {
+	return analysis.UniqueQueriersPerWeek(recs, orig, start, weeks)
+}
+
+// DiurnalAmplitude measures the 24 h periodicity of a bucketed series
+// (Figure 16 / Appendix C).
+func DiurnalAmplitude(series []int, bucket Duration) float64 {
+	return analysis.DiurnalAmplitude(series, bucket)
+}
+
+// OriginatorEvidence returns the external-source view (darknet hits,
+// blacklist listings) of one originator.
+func (d *Dataset) OriginatorEvidence(a Addr) Evidence {
+	return d.Oracle.Evidence(a)
+}

@@ -1,0 +1,53 @@
+// Command bsdig performs reverse (PTR) lookups against a DNS server —
+// a minimal dig -x built on this repository's wire format, useful for
+// poking a bsserve instance or any authoritative reverse zone.
+//
+// Usage:
+//
+//	bsdig -server 127.0.0.1:5353 8.8.8.8 1.1.1.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dnsbackscatter/internal/dnsserver"
+	"dnsbackscatter/internal/ipaddr"
+)
+
+func main() {
+	var (
+		server  = flag.String("server", "127.0.0.1:5353", "DNS server address")
+		timeout = flag.Duration("timeout", 500*time.Millisecond, "per-attempt timeout")
+		retries = flag.Int("retries", 2, "retransmits after the first attempt")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "bsdig: usage: bsdig [-server host:port] addr [addr...]")
+		os.Exit(2)
+	}
+
+	c := &dnsserver.Client{Timeout: *timeout, Retries: *retries}
+	exit := 0
+	for _, arg := range flag.Args() {
+		a, err := ipaddr.Parse(arg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bsdig: %v\n", err)
+			exit = 1
+			continue
+		}
+		target, rcode, sent, err := c.LookupPTR(*server, a)
+		switch {
+		case err != nil:
+			fmt.Printf("%s\t%s\t;; %v after %d attempts\n", a, a.ReverseName(), err, sent)
+			exit = 1
+		case rcode != 0:
+			fmt.Printf("%s\t%s\t;; rcode %d\n", a, a.ReverseName(), rcode)
+		default:
+			fmt.Printf("%s\t%s\tPTR\t%s\n", a, a.ReverseName(), target)
+		}
+	}
+	os.Exit(exit)
+}

@@ -1,0 +1,147 @@
+// Command bsgen simulates a DNS backscatter dataset and writes it to disk:
+// the authority's query log, the querier reverse names the sensor would
+// resolve, and the originator ground truth.
+//
+// Usage:
+//
+//	bsgen -dataset jp-ditl -scale 0.5 -out ./out
+//
+// produces out/log.tsv, out/queriers.tsv, and out/truth.tsv, which
+// bsclassify consumes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	backscatter "dnsbackscatter"
+
+	"dnsbackscatter/internal/ipaddr"
+)
+
+func specByName(name string) (backscatter.DatasetSpec, bool) {
+	for _, s := range []backscatter.DatasetSpec{
+		backscatter.JPDitl(), backscatter.BPostDitl(), backscatter.MDitl(),
+		backscatter.MDitl2015(), backscatter.MSampled(), backscatter.BLong(),
+		backscatter.BMultiYear(),
+	} {
+		if strings.EqualFold(s.Name, name) {
+			return s, true
+		}
+	}
+	return backscatter.DatasetSpec{}, false
+}
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "jp-ditl", "dataset spec: jp-ditl, b-post-ditl, m-ditl, m-ditl-2015, m-sampled, b-long, b-multi-year")
+		scale   = flag.Float64("scale", 1, "population scale factor")
+		seed    = flag.Uint64("seed", 0, "override the spec's seed (0 keeps it)")
+		out     = flag.String("out", ".", "output directory")
+		wire    = flag.Bool("wire", false, "also write log.cap, a framed DNS wire-format capture")
+	)
+	flag.Parse()
+
+	spec, ok := specByName(*dataset)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "bsgen: unknown dataset %q\n", *dataset)
+		os.Exit(2)
+	}
+	if *seed != 0 {
+		spec.Seed = *seed
+	}
+	spec = spec.Scaled(*scale)
+
+	fmt.Fprintf(os.Stderr, "bsgen: simulating %s (%s at %s, scale %.2f)...\n",
+		spec.Name, spec.Authority, spec.Start, *scale)
+	d := backscatter.Build(spec)
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	if err := writeLog(filepath.Join(*out, "log.tsv"), d); err != nil {
+		fatal(err)
+	}
+	if err := writeQueriers(filepath.Join(*out, "queriers.tsv"), d); err != nil {
+		fatal(err)
+	}
+	if err := writeTruth(filepath.Join(*out, "truth.tsv"), d); err != nil {
+		fatal(err)
+	}
+	if *wire {
+		if err := writeCapture(filepath.Join(*out, "log.cap"), d); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "bsgen: %d records, %d analyzable originators, %d labeled\n",
+		len(d.Records), len(d.Whole().Vectors), d.Labels.Total())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bsgen:", err)
+	os.Exit(1)
+}
+
+func writeCapture(path string, d *backscatter.Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return backscatter.WriteCapture(f, d.Records)
+}
+
+func writeLog(path string, d *backscatter.Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return backscatter.WriteLog(f, d.Records)
+}
+
+// writeQueriers dumps the reverse name (or status) of every querier that
+// appears in the log: "<addr>\t<name|!nxdomain|!unreach>".
+func writeQueriers(path string, d *backscatter.Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	seen := make(map[ipaddr.Addr]bool)
+	for _, r := range d.Records {
+		if seen[r.Querier] {
+			continue
+		}
+		seen[r.Querier] = true
+		name, unreach := d.QuerierName(r.Querier)
+		switch {
+		case unreach:
+			name = "!unreach"
+		case name == "":
+			name = "!nxdomain"
+		}
+		if _, err := fmt.Fprintf(f, "%s\t%s\n", r.Querier, name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeTruth dumps "<addr>\t<class>\t<port>\t<team>" for every campaign.
+func writeTruth(path string, d *backscatter.Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for a, tr := range d.World.TruthMap() {
+		if _, err := fmt.Fprintf(f, "%s\t%s\t%s\t%d\n", a, tr.Class, tr.Port, tr.Team); err != nil {
+			return err
+		}
+	}
+	return nil
+}

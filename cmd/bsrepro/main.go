@@ -1,0 +1,60 @@
+// Command bsrepro regenerates the paper's tables and figures from the
+// simulated datasets and prints them in paper-style rows/series.
+//
+// Usage:
+//
+//	bsrepro -scale 0.5                 # everything
+//	bsrepro -experiment table3,figure4 # a subset
+//	bsrepro -list                      # available experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dnsbackscatter/internal/report"
+)
+
+func main() {
+	var (
+		scale = flag.Float64("scale", 0.5, "dataset population scale (1 = spec defaults)")
+		exps  = flag.String("experiment", "all", "comma-separated experiment names, or all")
+		heavy = flag.Bool("heavy", false, "run the most expensive trial points too")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range report.All() {
+			fmt.Printf("%-20s %s\n", e.Name, e.Desc)
+		}
+		return
+	}
+
+	store := report.NewStore(*scale)
+	store.Heavy = *heavy
+
+	var todo []report.Experiment
+	if *exps == "all" {
+		todo = report.All()
+	} else {
+		for _, name := range strings.Split(*exps, ",") {
+			e, ok := report.Find(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "bsrepro: unknown experiment %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			todo = append(todo, e)
+		}
+	}
+
+	for _, e := range todo {
+		start := time.Now()
+		out := e.Run(store)
+		fmt.Println(out)
+		fmt.Fprintf(os.Stderr, "[%s done in %.1fs]\n\n", e.Name, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,81 @@
+// Command bsserve runs an authoritative reverse-DNS server over UDP,
+// answering PTR queries from a seeded synthetic world's originator
+// profiles and logging the resulting backscatter — a live, networked
+// version of the paper's final-authority sensor (§III-A).
+//
+// Usage:
+//
+//	bsserve -addr 127.0.0.1:5353 -seed 1404 -log backscatter.tsv
+//
+// then point bsdig (or dig -x) at it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"dnsbackscatter/internal/dnslog"
+	"dnsbackscatter/internal/dnsserver"
+	"dnsbackscatter/internal/dnssim"
+	"dnsbackscatter/internal/ipaddr"
+	"dnsbackscatter/internal/simtime"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:5353", "UDP listen address")
+		seed    = flag.Uint64("seed", 1404, "world seed for the zone contents")
+		logPath = flag.String("log", "", "append observed backscatter records to this TSV file")
+		name    = flag.String("authority", "final", "authority name in emitted records")
+	)
+	flag.Parse()
+
+	// A seeded profile source: the same deterministic reverse-zone
+	// distribution the simulator uses, re-keyed by this server's seed.
+	profile := func(a ipaddr.Addr) dnssim.OriginatorProfile {
+		p := dnssim.DefaultProfile(a + ipaddr.Addr(*seed))
+		if p.HasName {
+			p.Name = "host-" + a.String() + ".example.net"
+		}
+		return p
+	}
+
+	s, err := dnsserver.Listen(*addr, *name, profile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bsserve:", err)
+		os.Exit(1)
+	}
+	defer s.Close()
+
+	var lw *dnslog.Writer
+	if *logPath != "" {
+		f, err := os.OpenFile(*logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bsserve:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		lw = dnslog.NewWriter(f)
+		defer lw.Flush()
+		s.SetSink(func(r dnslog.Record) {
+			if err := lw.Write(r); err != nil {
+				fmt.Fprintln(os.Stderr, "bsserve: log:", err)
+			}
+		})
+	} else {
+		s.SetSink(func(r dnslog.Record) {
+			fmt.Printf("%s\tPTR %s\tfrom %s\trcode %d\n",
+				simtime.Time(r.Time).String(), r.Originator, r.Querier, r.RCode)
+		})
+	}
+
+	fmt.Fprintf(os.Stderr, "bsserve: authoritative for in-addr.arpa on %s (seed %d)\n", s.Addr(), *seed)
+	fmt.Fprintf(os.Stderr, "bsserve: try: go run ./cmd/bsdig -server %s 8.8.8.8\n", s.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Fprintf(os.Stderr, "\nbsserve: %d queries served, %d datagrams dropped\n", s.Queries(), s.Dropped())
+}

@@ -1,0 +1,369 @@
+package backscatter
+
+import (
+	"fmt"
+	"time"
+
+	"dnsbackscatter/internal/activity"
+	"dnsbackscatter/internal/classify"
+	"dnsbackscatter/internal/dnslog"
+	"dnsbackscatter/internal/features"
+	"dnsbackscatter/internal/groundtruth"
+	"dnsbackscatter/internal/ipaddr"
+	"dnsbackscatter/internal/rng"
+	"dnsbackscatter/internal/simtime"
+	"dnsbackscatter/internal/world"
+)
+
+// DatasetSpec describes a dataset to simulate — the knobs of the paper's
+// Table I plus simulation-scale controls.
+type DatasetSpec struct {
+	Name      string
+	Authority string   // "jp", "b-root", or "m-root"
+	Start     Time     // collection start
+	Duration  Duration // collection length
+	Interval  Duration // feature-aggregation interval d (§III-B)
+	Sample    int      // M-Root sampling divisor (1 = unsampled)
+	Seed      uint64
+
+	// Scale multiplies class populations; RateScale multiplies campaign
+	// touch rates. Together they size the simulation.
+	Scale     float64
+	RateScale float64
+
+	// Population is the steady-state concurrent campaigns per class
+	// before Scale.
+	Population [NumClasses]int
+
+	// MinQueriers is the analyzability threshold; the paper uses 20.
+	MinQueriers int
+
+	// Heartbleed injects the 2014-04-07 scanning burst when the window
+	// covers it.
+	Heartbleed bool
+
+	// Darknet enables the /17+/18 scan monitors.
+	Darknet bool
+
+	// JPShare boosts the fraction of originators in jp space.
+	JPShare float64
+
+	// QMinFraction is the share of resolvers performing QNAME
+	// minimization, which hides lookups from root and national sensors
+	// (§VII). 0 matches the paper's 2014-era world.
+	QMinFraction float64
+
+	// TeamProb is the probability a scan campaign spawns as a /24 team
+	// (§VI-B). Negative disables teams; 0 uses the world default.
+	TeamProb float64
+}
+
+// Scaled returns a copy with populations and rates multiplied by f — the
+// single knob for shrinking simulations in tests.
+func (s DatasetSpec) Scaled(f float64) DatasetSpec {
+	s.Scale *= f
+	return s
+}
+
+// basePopulation reflects the relative class sizes of Table V.
+func basePopulation() [NumClasses]int {
+	var p [NumClasses]int
+	p[Spam] = 36
+	p[Scan] = 30
+	p[Mail] = 22
+	p[CDN] = 14
+	p[P2P] = 12
+	p[AdTracker] = 8
+	p[Cloud] = 8
+	p[Crawler] = 6
+	p[DNSServer] = 6
+	p[Push] = 5
+	p[NTP] = 4
+	p[Update] = 3
+	return p
+}
+
+// JPDitl is the ccTLD 50-hour dataset (Table I row 1): unsampled, low in
+// the hierarchy, jp-space originators only.
+func JPDitl() DatasetSpec {
+	return DatasetSpec{
+		Name:        "JP-ditl",
+		Authority:   "jp",
+		Start:       simtime.Date(2014, time.April, 15, 11, 0),
+		Duration:    simtime.Hours(50),
+		Interval:    simtime.Hours(50),
+		Sample:      1,
+		Seed:        1404,
+		Scale:       1,
+		RateScale:   0.6,
+		Population:  jpPopulation(),
+		MinQueriers: 20,
+		Darknet:     true,
+		JPShare:     0.5,
+		TeamProb:    0.02,
+	}
+}
+
+// jpPopulation skews toward spam, the most common class the paper sees at
+// the JP authority (Table V); scan teams otherwise dominate the small
+// simulated ccTLD view.
+func jpPopulation() [NumClasses]int {
+	p := basePopulation()
+	p[Spam] = 52
+	p[Scan] = 18
+	return p
+}
+
+// BPostDitl is B-Root's 36-hour dataset (taken shortly after DITL 2014).
+func BPostDitl() DatasetSpec {
+	s := JPDitl()
+	s.Name = "B-post-ditl"
+	s.TeamProb = 0.08
+	s.Population = basePopulation()
+	s.Authority = "b-root"
+	s.Start = simtime.Date(2014, time.April, 28, 19, 56)
+	s.Duration = simtime.Hours(36)
+	s.Interval = simtime.Hours(36)
+	s.Seed = 1428
+	s.RateScale = 0.8
+	s.JPShare = 0.12
+	return s
+}
+
+// MDitl is M-Root's 50-hour DITL 2014 dataset.
+func MDitl() DatasetSpec {
+	s := JPDitl()
+	s.Name = "M-ditl"
+	s.TeamProb = 0.08
+	s.Population = basePopulation()
+	s.Authority = "m-root"
+	s.Seed = 1415
+	s.RateScale = 0.8
+	s.JPShare = 0.12
+	return s
+}
+
+// MDitl2015 is M-Root's DITL 2015 collection.
+func MDitl2015() DatasetSpec {
+	s := MDitl()
+	s.Name = "M-ditl-2015"
+	s.Start = simtime.Date(2015, time.April, 13, 11, 0)
+	s.Seed = 1513
+	return s
+}
+
+// MSampled is the nine-month, 1:10-sampled M-Root dataset used for the
+// paper's longitudinal analysis (§VI-C), with weekly feature intervals
+// (d = 7 days) and the Heartbleed window inside its span.
+func MSampled() DatasetSpec {
+	s := JPDitl()
+	s.Name = "M-sampled"
+	s.TeamProb = 0.08
+	s.Authority = "m-root"
+	s.Start = simtime.Date(2014, time.February, 16, 0, 0)
+	s.Duration = simtime.Days(252) // 36 weeks ≈ 9 months
+	s.Interval = simtime.Week
+	s.Sample = 10
+	s.Seed = 1402
+	s.RateScale = 0.45
+	s.JPShare = 0.12
+	s.Heartbleed = true
+	// Longitudinal trend shapes (Figures 11-15) need a deeper malicious
+	// population than the two-day snapshots.
+	s.Population[Scan] = 48
+	s.Population[Spam] = 48
+	return s
+}
+
+// BLong is B-Root's five-month unsampled dataset (controlled experiments,
+// §IV-D).
+func BLong() DatasetSpec {
+	s := JPDitl()
+	s.Name = "B-long"
+	s.TeamProb = 0.08
+	s.Population = basePopulation()
+	s.Authority = "b-root"
+	s.Start = simtime.Date(2015, time.January, 1, 0, 0)
+	s.Duration = simtime.Days(150)
+	s.Interval = simtime.Week
+	s.Seed = 1501
+	s.RateScale = 0.15
+	s.JPShare = 0.12
+	return s
+}
+
+// BMultiYear is B-Root's 4.16-year dataset behind the long-term accuracy
+// study (§V), with daily intervals around the 2014-04-28..30 curation.
+func BMultiYear() DatasetSpec {
+	s := JPDitl()
+	s.Name = "B-multi-year"
+	s.TeamProb = 0.08
+	s.Population = basePopulation()
+	s.Authority = "b-root"
+	s.Start = simtime.Date(2011, time.July, 8, 0, 0)
+	s.Duration = simtime.Days(1520)
+	s.Interval = simtime.Week
+	s.Seed = 1107
+	s.RateScale = 0.08 // leaner rates keep 4 years tractable
+	s.JPShare = 0.12
+	s.Heartbleed = true
+	return s
+}
+
+// Dataset is a built (simulated and collected) dataset: the world, the
+// authority's records, interval snapshots, and curated ground truth.
+type Dataset struct {
+	Spec    DatasetSpec
+	World   *world.World
+	Records []Record
+	// Snapshots are the per-interval feature views; Whole() aggregates
+	// the full span.
+	Snapshots []*Snapshot
+	Extractor *features.Extractor
+	Oracle    *groundtruth.Oracle
+	// Labels is the expert curation over the whole span.
+	Labels *groundtruth.LabeledSet
+
+	whole *Snapshot
+}
+
+// heartbleedBurst models the post-announcement scanning surge: the paper
+// measures a ~25% jump in weekly scanner counts lasting about a month.
+func heartbleedBurst(scanPop int) world.Burst {
+	return world.Burst{
+		Class:    Scan,
+		Port:     "tcp443",
+		Start:    simtime.Date(2014, time.April, 7, 12, 0),
+		Duration: simtime.Days(28),
+		Extra:    scanPop/3 + 1,
+	}
+}
+
+// Build simulates the dataset. Large specs (M-sampled, B-multi-year) take
+// tens of seconds; use Scaled for tests.
+func Build(spec DatasetSpec) *Dataset {
+	if spec.Scale <= 0 {
+		spec.Scale = 1
+	}
+	cfg := world.DefaultConfig()
+	cfg.Seed = spec.Seed
+	cfg.Start = spec.Start
+	cfg.Duration = spec.Duration
+	cfg.RateScale = spec.RateScale
+	if cfg.RateScale <= 0 {
+		cfg.RateScale = 1
+	}
+	cfg.MSample = spec.Sample
+	cfg.JPShare = spec.JPShare
+	for cls, n := range spec.Population {
+		scaled := int(float64(n)*spec.Scale + 0.5)
+		if n > 0 && scaled == 0 {
+			scaled = 1
+		}
+		cfg.ClassPopulation[cls] = scaled
+	}
+	cfg.QMinFraction = spec.QMinFraction
+	if spec.TeamProb != 0 {
+		cfg.Teams = spec.TeamProb
+		if cfg.Teams < 0 {
+			cfg.Teams = 0
+		}
+	}
+	if spec.Darknet {
+		cfg.DarknetSlash8 = 150
+	}
+	if spec.Heartbleed {
+		hb := heartbleedBurst(cfg.ClassPopulation[Scan])
+		end := spec.Start.Add(spec.Duration)
+		if hb.Start.After(spec.Start) && hb.Start.Before(end) {
+			cfg.Bursts = append(cfg.Bursts, hb)
+		}
+	}
+
+	w := world.New(cfg)
+	w.Run()
+
+	d := &Dataset{Spec: spec, World: w}
+	switch spec.Authority {
+	case "jp":
+		d.Records = w.National["jp"].Records
+	case "b-root":
+		d.Records = w.BRoot.Records
+	case "m-root":
+		d.Records = w.MRoot.Records
+	default:
+		panic(fmt.Sprintf("backscatter: unknown authority %q", spec.Authority))
+	}
+
+	d.Extractor = features.NewExtractor(w.Geo, w.QuerierName)
+	if spec.MinQueriers > 0 {
+		d.Extractor.MinQueriers = spec.MinQueriers
+	}
+	d.Snapshots = classify.SnapIntervals(d.Records, d.Extractor, spec.Start, spec.Duration, spec.Interval)
+
+	truth := make(map[ipaddr.Addr]activity.Class)
+	for a, tr := range w.TruthMap() {
+		truth[a] = tr.Class
+	}
+	d.Oracle = groundtruth.NewOracle(truth, w.Dark, spec.Seed)
+	cur := groundtruth.DefaultCuration()
+	st := rng.NewSource(spec.Seed).Stream("curation")
+	d.Labels = groundtruth.Curate(d.Whole().Ranked(), d.Oracle, cur, st)
+	return d
+}
+
+// Whole returns the single snapshot aggregating the dataset's full span.
+func (d *Dataset) Whole() *Snapshot {
+	if d.whole == nil {
+		d.whole = classify.Snap(d.Records, d.Extractor, d.Spec.Start, d.Spec.Duration)
+	}
+	return d.whole
+}
+
+// Truth returns the true class of an originator, if it ran a campaign.
+func (d *Dataset) Truth(a Addr) (Class, bool) {
+	tr, ok := d.World.Truth(a)
+	return tr.Class, ok
+}
+
+// FullTruth returns an originator's class, scan-port label, and scanner
+// team id (0 = none).
+func (d *Dataset) FullTruth(a Addr) (cls Class, port string, team int, ok bool) {
+	tr, ok := d.World.Truth(a)
+	return tr.Class, tr.Port, tr.Team, ok
+}
+
+// TruthMap returns all originator classes (read-only by convention).
+func (d *Dataset) TruthMap() map[Addr]Class {
+	out := make(map[Addr]Class, len(d.World.TruthMap()))
+	for a, tr := range d.World.TruthMap() {
+		out[a] = tr.Class
+	}
+	return out
+}
+
+// ReverseQueries reports how many reverse queries arrived at the dataset's
+// authority before sampling (Table I's reverse-query column).
+func (d *Dataset) ReverseQueries() uint64 {
+	switch d.Spec.Authority {
+	case "jp":
+		return d.World.National["jp"].Seen()
+	case "b-root":
+		return d.World.BRoot.Seen()
+	default:
+		return d.World.MRoot.Seen()
+	}
+}
+
+// LogRecord re-exports dnslog parsing for tools.
+func LogRecord(line string) (Record, error) { return dnslog.ParseRecord(line) }
+
+// NewStreamExtractor returns a bounded-memory streaming extractor wired to
+// this dataset's geo registry and querier-name source. Feed records with
+// Observe and call Snapshot at interval boundaries; vectors are
+// approximate (HLL footprints, sampled statics) but classifier-compatible.
+func (d *Dataset) NewStreamExtractor() *StreamExtractor {
+	x := features.NewStreamExtractor(d.World.Geo, d.World.QuerierName)
+	x.MinQueriers = d.Extractor.MinQueriers
+	return x
+}

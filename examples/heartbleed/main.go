@@ -1,0 +1,67 @@
+// Heartbleed: reproduce the paper's headline longitudinal result (§VI-C,
+// Figure 11) — a continuous background of scanning with a visible burst of
+// tcp443 scanners after the Heartbleed announcement of 2014-04-07.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	backscatter "dnsbackscatter"
+)
+
+func main() {
+	// Nine months of 1:10-sampled M-Root backscatter with the Heartbleed
+	// reaction enabled; scaled down for a quick run.
+	spec := backscatter.MSampled().Scaled(0.4)
+	fmt.Printf("simulating %s (%d days of root backscatter)...\n",
+		spec.Name, int(spec.Duration)/86400)
+	ds := backscatter.Build(spec)
+
+	// Classify each weekly interval with a retrained model.
+	weekly := ds.ClassifyIntervals()
+	hb := backscatter.Date(2014, 4, 7, 0, 0)
+	hbWeek := int(hb.Sub(spec.Start) / spec.Interval)
+
+	fmt.Println("\nweekly scanner counts (* marks the Heartbleed announcement):")
+	var pre, post, preN, postN float64
+	for i, wk := range weekly {
+		n := backscatter.ClassCounts(wk)[backscatter.Scan]
+		marker := ""
+		if i == hbWeek {
+			marker = "  * Heartbleed announced"
+		}
+		fmt.Printf("week %2d  %4d %s%s\n", i, n, strings.Repeat("#", n/2), marker)
+		switch {
+		case i >= hbWeek-4 && i < hbWeek:
+			pre += float64(n)
+			preN++
+		case i >= hbWeek && i < hbWeek+4:
+			post += float64(n)
+			postN++
+		}
+	}
+	if preN > 0 && postN > 0 && pre > 0 {
+		fmt.Printf("\nscanners/week: %.0f before vs %.0f during the burst window (%+.0f%%)\n",
+			pre/preN, post/postN, 100*(post/postN-pre/preN)/(pre/preN))
+		fmt.Println("(the paper measures a ~25% jump riding on a large steady background)")
+	}
+
+	// Which ports? Check the truth of scan-classified originators in the
+	// burst window against the steady state.
+	burstPorts := map[string]int{}
+	for i := hbWeek; i < hbWeek+4 && i < len(weekly); i++ {
+		for a, c := range weekly[i] {
+			if c != backscatter.Scan {
+				continue
+			}
+			if _, port, _, ok := ds.FullTruth(a); ok {
+				burstPorts[port]++
+			}
+		}
+	}
+	fmt.Println("\nscan ports during the burst window:")
+	for _, port := range []string{"tcp443", "tcp22", "tcp80", "icmp", "multi"} {
+		fmt.Printf("  %-7s %d\n", port, burstPorts[port])
+	}
+}

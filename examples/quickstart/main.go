@@ -1,0 +1,51 @@
+// Quickstart: simulate a two-day ccTLD backscatter dataset, train the
+// paper's Random Forest classifier on curated labels, and print the most
+// prolific originators with their inferred application classes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	backscatter "dnsbackscatter"
+)
+
+func main() {
+	// A scaled-down JP-ditl: the 50-hour ccTLD collection of Table I.
+	spec := backscatter.JPDitl().Scaled(0.5)
+	fmt.Printf("simulating %s (%s authority, %v)...\n", spec.Name, spec.Authority, spec.Start)
+	ds := backscatter.Build(spec)
+
+	fmt.Printf("collected %d reverse queries; %d analyzable originators (≥%d queriers); %d labeled\n",
+		len(ds.Records), len(ds.Whole().Vectors), ds.Extractor.MinQueriers, ds.Labels.Total())
+
+	// Train RF with the paper's 10-run majority vote.
+	model, err := ds.TrainClassifier(10)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\ntop originators by footprint:")
+	fmt.Println("rank  originator        queriers  class       truth")
+	for i, v := range ds.Whole().Vectors {
+		if i == 20 {
+			break
+		}
+		cls := model.Classify(v)
+		truth := "-"
+		if t, ok := ds.Truth(v.Originator); ok {
+			truth = t.String()
+		}
+		fmt.Printf("%-5d %-17s %-9d %-11s %s\n", i+1, v.Originator, v.Queriers, cls, truth)
+	}
+
+	// How good is it? Validate with the paper's protocol (random 60/40
+	// splits, repeated).
+	res, err := ds.Validate(backscatter.AlgRandomForest, 0.6, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nvalidation (10 × 60/40 splits): accuracy %.2f±%.2f  F1 %.2f±%.2f\n",
+		res.Accuracy.Mean, res.Accuracy.Std, res.F1.Mean, res.F1.Std)
+	fmt.Println("(the paper reports 0.7-0.8 accuracy for this pipeline)")
+}

@@ -1,0 +1,78 @@
+// Scanner teams: reproduce §VI-B's coordinated-scanning analysis. With no
+// direct view of scan traffic, backscatter alone reveals /24 blocks where
+// several originators run the same class of activity — candidate teams —
+// which the darknet then corroborates.
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	backscatter "dnsbackscatter"
+)
+
+func main() {
+	spec := backscatter.MSampled().Scaled(0.3)
+	fmt.Printf("simulating %s with darknet monitors...\n", spec.Name)
+	ds := backscatter.Build(spec)
+
+	// Cumulative weekly classification (the paper counts originators per
+	// class across the whole span).
+	weekly := ds.ClassifyIntervals()
+	classes := make(map[backscatter.Addr]backscatter.Class)
+	for _, wk := range weekly {
+		for a, c := range wk {
+			classes[a] = c
+		}
+	}
+
+	stats := backscatter.ScannerTeams(classes, 4)
+	fmt.Printf("\nunique scan originators:        %d\n", stats.UniqueScanners)
+	fmt.Printf("/24 blocks containing scanners: %d\n", stats.Blocks)
+	fmt.Printf("blocks with ≥4 originators:     %d\n", stats.BlocksWithNPlus)
+	fmt.Printf("  all same class (teams):       %d\n", stats.SameClassBlocks)
+	fmt.Printf("  mixed classes:                %d\n", stats.MixedClassBlocks)
+
+	// Inspect candidate team blocks and validate against the darknet and
+	// the planted ground truth.
+	byBlock := make(map[uint32][]backscatter.Addr)
+	for a, c := range classes {
+		if c == backscatter.Scan {
+			b := uint32(a) >> 8
+			byBlock[b] = append(byBlock[b], a)
+		}
+	}
+	type blk struct {
+		id      uint32
+		members []backscatter.Addr
+	}
+	var blocks []blk
+	for id, ms := range byBlock {
+		if len(ms) >= 4 {
+			blocks = append(blocks, blk{id, ms})
+		}
+	}
+	sort.Slice(blocks, func(i, j int) bool { return len(blocks[i].members) > len(blocks[j].members) })
+
+	fmt.Println("\ncandidate team blocks:")
+	for i, b := range blocks {
+		if i == 8 {
+			break
+		}
+		darkHits, confirmed, trueTeam := 0, 0, 0
+		for _, a := range b.members {
+			ev := ds.OriginatorEvidence(a)
+			darkHits += ev.DarknetHits
+			if ev.DarknetHits > 0 {
+				confirmed++
+			}
+			if _, _, team, ok := ds.FullTruth(a); ok && team != 0 {
+				trueTeam++
+			}
+		}
+		base := backscatter.Addr(b.id << 8)
+		fmt.Printf("  %-18s %2d scanners  darknet hits %-6d (%d members confirmed; %d truly coordinated)\n",
+			base.String()+"/24", len(b.members), darkHits, confirmed, trueTeam)
+	}
+	fmt.Println("\n(the paper finds 167 blocks with ≥4 originators, 39 all-scan, from 5606 scanners)")
+}

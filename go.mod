@@ -1,0 +1,3 @@
+module dnsbackscatter
+
+go 1.22

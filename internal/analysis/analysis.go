@@ -1,0 +1,342 @@
+// Package analysis implements the paper's §VI measurement analytics over
+// classified backscatter: footprint distributions (Fig 9), top-N class
+// mixes (Fig 10, Table V), longitudinal trends and churn (Figs 11-15),
+// scanner-team detection (§VI-B), classification-consistency ratios
+// (Fig 8), and the power-law attenuation fit of Fig 4.
+package analysis
+
+import (
+	"math"
+	"sort"
+
+	"dnsbackscatter/internal/activity"
+	"dnsbackscatter/internal/dnslog"
+	"dnsbackscatter/internal/features"
+	"dnsbackscatter/internal/ipaddr"
+	"dnsbackscatter/internal/simtime"
+)
+
+// FootprintPoint is one point of the footprint-size distribution.
+type FootprintPoint struct {
+	Size int     // unique queriers per originator
+	CCDF float64 // fraction of originators with footprint >= Size
+}
+
+// FootprintCCDF computes the complementary CDF of footprint sizes —
+// Figure 9's log-log curve.
+func FootprintCCDF(vs []*features.Vector) []FootprintPoint {
+	if len(vs) == 0 {
+		return nil
+	}
+	sizes := make([]int, len(vs))
+	for i, v := range vs {
+		sizes[i] = v.Queriers
+	}
+	sort.Ints(sizes)
+	n := float64(len(sizes))
+	var out []FootprintPoint
+	for i := 0; i < len(sizes); {
+		j := i
+		for j < len(sizes) && sizes[j] == sizes[i] {
+			j++
+		}
+		out = append(out, FootprintPoint{Size: sizes[i], CCDF: float64(len(sizes)-i) / n})
+		i = j
+	}
+	return out
+}
+
+// ClassCounts tallies originators per class (Table V rows).
+func ClassCounts(classes map[ipaddr.Addr]activity.Class) [activity.NumClasses]int {
+	var out [activity.NumClasses]int
+	for _, c := range classes {
+		out[c]++
+	}
+	return out
+}
+
+// ClassFractions returns the per-class share among the top-n ranked
+// originators (Figure 10). ranked is footprint-descending; originators
+// missing from classes are skipped.
+func ClassFractions(classes map[ipaddr.Addr]activity.Class, ranked []ipaddr.Addr, n int) [activity.NumClasses]float64 {
+	var counts [activity.NumClasses]int
+	total := 0
+	if n > len(ranked) {
+		n = len(ranked)
+	}
+	for _, a := range ranked[:n] {
+		c, ok := classes[a]
+		if !ok {
+			continue
+		}
+		counts[c]++
+		total++
+	}
+	var out [activity.NumClasses]float64
+	if total == 0 {
+		return out
+	}
+	for i, c := range counts {
+		out[i] = float64(c) / float64(total)
+	}
+	return out
+}
+
+// ChurnPoint is one week of Figure 15: scanners new this week, continuing
+// from last week, and departed since last week.
+type ChurnPoint struct {
+	Week       int
+	New        int
+	Continuing int
+	Departing  int
+}
+
+// Churn computes week-by-week membership churn for one class given each
+// week's classifications.
+func Churn(perWeek []map[ipaddr.Addr]activity.Class, cls activity.Class) []ChurnPoint {
+	members := func(m map[ipaddr.Addr]activity.Class) map[ipaddr.Addr]struct{} {
+		out := make(map[ipaddr.Addr]struct{})
+		for a, c := range m {
+			if c == cls {
+				out[a] = struct{}{}
+			}
+		}
+		return out
+	}
+	var out []ChurnPoint
+	var prev map[ipaddr.Addr]struct{}
+	for w, week := range perWeek {
+		cur := members(week)
+		p := ChurnPoint{Week: w}
+		for a := range cur {
+			if _, ok := prev[a]; ok {
+				p.Continuing++
+			} else {
+				p.New++
+			}
+		}
+		for a := range prev {
+			if _, ok := cur[a]; !ok {
+				p.Departing++
+			}
+		}
+		out = append(out, p)
+		prev = cur
+	}
+	return out
+}
+
+// TeamStats summarizes coordinated scanning by /24 blocks (§VI-B).
+type TeamStats struct {
+	UniqueScanners   int // originators classified scan
+	Blocks           int // distinct /24 blocks containing a scanner
+	BlocksWithNPlus  int // blocks with >= N originators of any class
+	SameClassBlocks  int // of those, blocks whose originators are all scan
+	MixedClassBlocks int // blocks with N+ originators spanning classes
+}
+
+// ScannerTeams analyzes /24 co-location: blocks with minMembers or more
+// originators suggest teams; same-class blocks are the strong candidates.
+func ScannerTeams(classes map[ipaddr.Addr]activity.Class, minMembers int) TeamStats {
+	byBlock := make(map[uint32][]activity.Class)
+	var st TeamStats
+	for a, c := range classes {
+		byBlock[a.Slash24()] = append(byBlock[a.Slash24()], c)
+		if c == activity.Scan {
+			st.UniqueScanners++
+		}
+	}
+	for _, members := range byBlock {
+		hasScan := false
+		allScan := true
+		for _, c := range members {
+			if c == activity.Scan {
+				hasScan = true
+			} else {
+				allScan = false
+			}
+		}
+		if hasScan {
+			st.Blocks++
+		}
+		if len(members) >= minMembers && hasScan {
+			st.BlocksWithNPlus++
+			if allScan {
+				st.SameClassBlocks++
+			} else {
+				st.MixedClassBlocks++
+			}
+		}
+	}
+	return st
+}
+
+// MajorityRatio computes r for one originator: the fraction of appearing
+// weeks in which its most common class was assigned (Fig 8). It returns
+// (r, weeksPresent).
+func MajorityRatio(perWeek []map[ipaddr.Addr]activity.Class, a ipaddr.Addr) (float64, int) {
+	var counts [activity.NumClasses]int
+	present := 0
+	for _, week := range perWeek {
+		if c, ok := week[a]; ok {
+			counts[c]++
+			present++
+		}
+	}
+	if present == 0 {
+		return 0, 0
+	}
+	best := 0
+	for _, c := range counts {
+		if c > best {
+			best = c
+		}
+	}
+	return float64(best) / float64(present), present
+}
+
+// ConsistencyCDF returns the sorted r values of all originators appearing
+// in at least minWeeks weeks — the CDF input of Figure 8.
+func ConsistencyCDF(perWeek []map[ipaddr.Addr]activity.Class, minWeeks int) []float64 {
+	seen := make(map[ipaddr.Addr]struct{})
+	for _, week := range perWeek {
+		for a := range week {
+			seen[a] = struct{}{}
+		}
+	}
+	var rs []float64
+	for a := range seen {
+		r, present := MajorityRatio(perWeek, a)
+		if present >= minWeeks {
+			rs = append(rs, r)
+		}
+	}
+	sort.Float64s(rs)
+	return rs
+}
+
+// FractionAtLeast returns the share of sorted values >= x.
+func FractionAtLeast(sorted []float64, x float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(sorted, x)
+	return float64(len(sorted)-i) / float64(len(sorted))
+}
+
+// PowerLawFit fits y = c * x^alpha by least squares in log-log space,
+// ignoring non-positive points. It returns (c, alpha).
+func PowerLawFit(xs, ys []float64) (c, alpha float64) {
+	var sx, sy, sxx, sxy float64
+	n := 0.0
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			continue
+		}
+		lx, ly := math.Log(xs[i]), math.Log(ys[i])
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+		n++
+	}
+	if n < 2 {
+		return 0, 0
+	}
+	alpha = (n*sxy - sx*sy) / (n*sxx - sx*sx)
+	c = math.Exp((sy - alpha*sx) / n)
+	return c, alpha
+}
+
+// BoxStats are the quantiles of Figure 12's box plot.
+type BoxStats struct {
+	P10, P25, P50, P75, P90 float64
+	N                       int
+}
+
+// Quantiles computes box-plot statistics with linear interpolation.
+func Quantiles(xs []float64) BoxStats {
+	if len(xs) == 0 {
+		return BoxStats{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	q := func(p float64) float64 {
+		pos := p * float64(len(s)-1)
+		lo := int(pos)
+		if lo >= len(s)-1 {
+			return s[len(s)-1]
+		}
+		frac := pos - float64(lo)
+		return s[lo]*(1-frac) + s[lo+1]*frac
+	}
+	return BoxStats{P10: q(0.10), P25: q(0.25), P50: q(0.50), P75: q(0.75), P90: q(0.90), N: len(s)}
+}
+
+// TimeSeries counts records per bucket for one originator, for the diurnal
+// plots of Figure 16 (and per-scanner series of Figure 13). It returns
+// counts for ceil(total/bucket) buckets from start.
+func TimeSeries(recs []dnslog.Record, orig ipaddr.Addr, start simtime.Time, total, bucket simtime.Duration) []int {
+	n := int((total + bucket - 1) / bucket)
+	out := make([]int, n)
+	for _, r := range recs {
+		if r.Originator != orig || r.Time.Before(start) {
+			continue
+		}
+		i := int(r.Time.Sub(start) / bucket)
+		if i < n {
+			out[i]++
+		}
+	}
+	return out
+}
+
+// UniqueQueriersPerWeek returns an originator's weekly footprint series
+// (Figure 13's y-axis).
+func UniqueQueriersPerWeek(recs []dnslog.Record, orig ipaddr.Addr, start simtime.Time, weeks int) []int {
+	sets := make([]map[ipaddr.Addr]struct{}, weeks)
+	for i := range sets {
+		sets[i] = make(map[ipaddr.Addr]struct{})
+	}
+	for _, r := range recs {
+		if r.Originator != orig || r.Time.Before(start) {
+			continue
+		}
+		i := int(r.Time.Sub(start) / simtime.Week)
+		if i < weeks {
+			sets[i][r.Querier] = struct{}{}
+		}
+	}
+	out := make([]int, weeks)
+	for i, s := range sets {
+		out[i] = len(s)
+	}
+	return out
+}
+
+// DiurnalAmplitude measures how diurnal a bucketed series is: the relative
+// amplitude of the best-fit 24 h sinusoid, 0 (flat) to ~1 (fully diurnal).
+// Buckets must evenly divide 24 h for the fit to be meaningful.
+func DiurnalAmplitude(series []int, bucket simtime.Duration) float64 {
+	if len(series) == 0 {
+		return 0
+	}
+	perDay := float64(24*simtime.Hour) / float64(bucket)
+	var mean float64
+	for _, v := range series {
+		mean += float64(v)
+	}
+	mean /= float64(len(series))
+	if mean == 0 {
+		return 0
+	}
+	var a, b float64
+	for i, v := range series {
+		phase := 2 * math.Pi * float64(i) / perDay
+		a += (float64(v) - mean) * math.Cos(phase)
+		b += (float64(v) - mean) * math.Sin(phase)
+	}
+	a /= float64(len(series)) / 2
+	b /= float64(len(series)) / 2
+	return math.Hypot(a, b) / mean
+}

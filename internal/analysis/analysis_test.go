@@ -1,0 +1,246 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"dnsbackscatter/internal/activity"
+	"dnsbackscatter/internal/dnslog"
+	"dnsbackscatter/internal/features"
+	"dnsbackscatter/internal/ipaddr"
+	"dnsbackscatter/internal/rng"
+	"dnsbackscatter/internal/simtime"
+)
+
+func vecs(sizes ...int) []*features.Vector {
+	out := make([]*features.Vector, len(sizes))
+	for i, s := range sizes {
+		out[i] = &features.Vector{Originator: ipaddr.Addr(i + 1), Queriers: s}
+	}
+	return out
+}
+
+func TestFootprintCCDF(t *testing.T) {
+	pts := FootprintCCDF(vecs(10, 10, 20, 40))
+	if len(pts) != 3 {
+		t.Fatalf("%d points, want 3", len(pts))
+	}
+	if pts[0].Size != 10 || math.Abs(pts[0].CCDF-1.0) > 1e-9 {
+		t.Errorf("first point %+v", pts[0])
+	}
+	if pts[1].Size != 20 || math.Abs(pts[1].CCDF-0.5) > 1e-9 {
+		t.Errorf("second point %+v", pts[1])
+	}
+	if pts[2].Size != 40 || math.Abs(pts[2].CCDF-0.25) > 1e-9 {
+		t.Errorf("third point %+v", pts[2])
+	}
+	if FootprintCCDF(nil) != nil {
+		t.Error("empty input must give nil")
+	}
+}
+
+func TestClassCountsAndFractions(t *testing.T) {
+	classes := map[ipaddr.Addr]activity.Class{
+		1: activity.Spam, 2: activity.Spam, 3: activity.Scan, 4: activity.Mail,
+	}
+	counts := ClassCounts(classes)
+	if counts[activity.Spam] != 2 || counts[activity.Scan] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+	ranked := []ipaddr.Addr{1, 3, 2, 4}
+	fr := ClassFractions(classes, ranked, 2)
+	if math.Abs(fr[activity.Spam]-0.5) > 1e-9 || math.Abs(fr[activity.Scan]-0.5) > 1e-9 {
+		t.Errorf("top-2 fractions = %v", fr)
+	}
+	// Unclassified addresses are skipped.
+	fr = ClassFractions(classes, []ipaddr.Addr{1, 99}, 2)
+	if math.Abs(fr[activity.Spam]-1.0) > 1e-9 {
+		t.Errorf("skip-unclassified fractions = %v", fr)
+	}
+	if fr := ClassFractions(classes, nil, 5); fr[activity.Spam] != 0 {
+		t.Error("empty ranked must give zeros")
+	}
+}
+
+func TestChurn(t *testing.T) {
+	s := activity.Scan
+	weeks := []map[ipaddr.Addr]activity.Class{
+		{1: s, 2: s, 9: activity.Mail},
+		{2: s, 3: s},
+		{3: s},
+	}
+	pts := Churn(weeks, s)
+	if len(pts) != 3 {
+		t.Fatal("wrong length")
+	}
+	if pts[0].New != 2 || pts[0].Continuing != 0 || pts[0].Departing != 0 {
+		t.Errorf("week 0: %+v", pts[0])
+	}
+	if pts[1].New != 1 || pts[1].Continuing != 1 || pts[1].Departing != 1 {
+		t.Errorf("week 1: %+v", pts[1])
+	}
+	if pts[2].New != 0 || pts[2].Continuing != 1 || pts[2].Departing != 1 {
+		t.Errorf("week 2: %+v", pts[2])
+	}
+}
+
+func TestScannerTeams(t *testing.T) {
+	mk := func(block byte, host byte) ipaddr.Addr { return ipaddr.FromOctets(10, 0, block, host) }
+	classes := map[ipaddr.Addr]activity.Class{
+		// Block 1: four scanners (a same-class team).
+		mk(1, 1): activity.Scan, mk(1, 2): activity.Scan, mk(1, 3): activity.Scan, mk(1, 4): activity.Scan,
+		// Block 2: four originators, mixed classes.
+		mk(2, 1): activity.Scan, mk(2, 2): activity.Scan, mk(2, 3): activity.Spam, mk(2, 4): activity.Mail,
+		// Block 3: lone scanner.
+		mk(3, 1): activity.Scan,
+	}
+	st := ScannerTeams(classes, 4)
+	if st.UniqueScanners != 7 {
+		t.Errorf("UniqueScanners = %d", st.UniqueScanners)
+	}
+	if st.Blocks != 3 {
+		t.Errorf("Blocks = %d", st.Blocks)
+	}
+	if st.BlocksWithNPlus != 2 || st.SameClassBlocks != 1 || st.MixedClassBlocks != 1 {
+		t.Errorf("teams = %+v", st)
+	}
+}
+
+func TestMajorityRatioAndCDF(t *testing.T) {
+	weeks := []map[ipaddr.Addr]activity.Class{
+		{1: activity.Scan, 2: activity.Scan},
+		{1: activity.Scan, 2: activity.Spam},
+		{1: activity.Scan, 2: activity.Scan},
+		{1: activity.Scan, 2: activity.Mail},
+	}
+	r, present := MajorityRatio(weeks, 1)
+	if r != 1 || present != 4 {
+		t.Errorf("consistent originator: r=%v present=%d", r, present)
+	}
+	r, present = MajorityRatio(weeks, 2)
+	if math.Abs(r-0.5) > 1e-9 || present != 4 {
+		t.Errorf("flapping originator: r=%v present=%d", r, present)
+	}
+	if _, present := MajorityRatio(weeks, 99); present != 0 {
+		t.Error("absent originator present != 0")
+	}
+	rs := ConsistencyCDF(weeks, 4)
+	if len(rs) != 2 || rs[0] != 0.5 || rs[1] != 1 {
+		t.Errorf("CDF values = %v", rs)
+	}
+	if got := FractionAtLeast(rs, 0.6); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("FractionAtLeast(0.6) = %v", got)
+	}
+	if got := FractionAtLeast(nil, 0.5); got != 0 {
+		t.Error("empty FractionAtLeast != 0")
+	}
+	// minWeeks filter.
+	if got := ConsistencyCDF(weeks, 5); len(got) != 0 {
+		t.Error("minWeeks filter failed")
+	}
+}
+
+func TestPowerLawFit(t *testing.T) {
+	// y = 3 x^0.71 exactly.
+	var xs, ys []float64
+	for _, x := range []float64{10, 100, 1e3, 1e4, 1e5} {
+		xs = append(xs, x)
+		ys = append(ys, 3*math.Pow(x, 0.71))
+	}
+	c, alpha := PowerLawFit(xs, ys)
+	if math.Abs(alpha-0.71) > 1e-9 || math.Abs(c-3) > 1e-9 {
+		t.Errorf("fit = (%v, %v), want (3, 0.71)", c, alpha)
+	}
+	// Noisy fit stays close.
+	st := rng.New(5)
+	for i := range ys {
+		ys[i] *= 1 + 0.1*st.NormFloat64()
+	}
+	_, alpha = PowerLawFit(xs, ys)
+	if math.Abs(alpha-0.71) > 0.1 {
+		t.Errorf("noisy fit alpha = %v", alpha)
+	}
+	// Degenerate input.
+	if c, a := PowerLawFit([]float64{1}, []float64{1}); c != 0 || a != 0 {
+		t.Error("single point fit should be zero")
+	}
+	// Non-positive points ignored.
+	c, alpha = PowerLawFit([]float64{0, 10, 100}, []float64{5, 3 * math.Pow(10, 0.71), 3 * math.Pow(100, 0.71)})
+	if math.Abs(alpha-0.71) > 1e-9 {
+		t.Errorf("fit with zero x = %v", alpha)
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	var xs []float64
+	for i := 1; i <= 100; i++ {
+		xs = append(xs, float64(i))
+	}
+	q := Quantiles(xs)
+	if q.N != 100 {
+		t.Errorf("N = %d", q.N)
+	}
+	if math.Abs(q.P50-50.5) > 1e-9 {
+		t.Errorf("median = %v", q.P50)
+	}
+	if q.P10 >= q.P25 || q.P25 >= q.P50 || q.P50 >= q.P75 || q.P75 >= q.P90 {
+		t.Errorf("quantiles not monotone: %+v", q)
+	}
+	if z := Quantiles(nil); z.N != 0 {
+		t.Error("empty quantiles")
+	}
+	one := Quantiles([]float64{7})
+	if one.P10 != 7 || one.P90 != 7 {
+		t.Errorf("singleton quantiles = %+v", one)
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	o := ipaddr.MustParse("1.2.3.4")
+	recs := []dnslog.Record{
+		{Time: 0, Originator: o},
+		{Time: 100, Originator: o},
+		{Time: 3700, Originator: o},
+		{Time: 100, Originator: ipaddr.MustParse("9.9.9.9")},
+		{Time: -5, Originator: o},     // before window
+		{Time: 999999, Originator: o}, // after window
+	}
+	series := TimeSeries(recs, o, 0, 2*simtime.Hour, simtime.Hour)
+	if len(series) != 2 || series[0] != 2 || series[1] != 1 {
+		t.Errorf("series = %v", series)
+	}
+}
+
+func TestUniqueQueriersPerWeek(t *testing.T) {
+	o := ipaddr.MustParse("1.2.3.4")
+	wk := simtime.Time(simtime.Week)
+	recs := []dnslog.Record{
+		{Time: 0, Originator: o, Querier: 1},
+		{Time: 1, Originator: o, Querier: 1}, // duplicate querier
+		{Time: 2, Originator: o, Querier: 2},
+		{Time: wk + 1, Originator: o, Querier: 1},
+	}
+	got := UniqueQueriersPerWeek(recs, o, 0, 2)
+	if got[0] != 2 || got[1] != 1 {
+		t.Errorf("weekly queriers = %v", got)
+	}
+}
+
+func TestDiurnalAmplitude(t *testing.T) {
+	bucket := simtime.Hour
+	flat := make([]int, 48)
+	diurnal := make([]int, 48)
+	for i := range flat {
+		flat[i] = 100
+		diurnal[i] = 100 + int(90*math.Cos(2*math.Pi*float64(i)/24))
+	}
+	if a := DiurnalAmplitude(flat, bucket); a > 0.05 {
+		t.Errorf("flat amplitude = %v", a)
+	}
+	if a := DiurnalAmplitude(diurnal, bucket); a < 0.7 {
+		t.Errorf("diurnal amplitude = %v", a)
+	}
+	if DiurnalAmplitude(nil, bucket) != 0 || DiurnalAmplitude([]int{0, 0}, bucket) != 0 {
+		t.Error("degenerate amplitude not zero")
+	}
+}

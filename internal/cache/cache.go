@@ -1,0 +1,125 @@
+// Package cache implements the TTL cache used by simulated recursive
+// resolvers.
+//
+// DNS caching is the dominant attenuator of backscatter (§II, §IV-D):
+// whether an authority sees a reverse query at all depends on what the
+// querier's resolver still holds — the final PTR record, or any NS
+// delegation along the in-addr.arpa chain. The cache supports positive and
+// negative entries (NXDomain results are cached too, per RFC 2308), uses
+// the simulator's explicit clock, and bounds memory with random eviction
+// of expired-first entries.
+package cache
+
+import (
+	"dnsbackscatter/internal/simtime"
+)
+
+// Entry is a cached DNS result.
+type Entry struct {
+	Value    string // e.g. a PTR target or NS hostname; empty for negative
+	Negative bool   // NXDomain / NODATA result
+	Expires  simtime.Time
+}
+
+// Cache is a TTL cache with bounded size, keyed by compact uint64 zone/
+// record identifiers (resolvers issue millions of lookups, so keys avoid
+// string construction). It is not safe for concurrent use; the simulator
+// drives each resolver from one goroutine.
+type Cache struct {
+	max     int
+	entries map[uint64]Entry
+
+	hits, misses, expired uint64
+}
+
+// New returns a cache holding at most max entries. max <= 0 means
+// unbounded.
+func New(max int) *Cache {
+	return &Cache{max: max, entries: make(map[uint64]Entry)}
+}
+
+// Get returns the live entry for key at time now. Expired entries are
+// removed and reported as misses.
+func (c *Cache) Get(key uint64, now simtime.Time) (Entry, bool) {
+	e, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return Entry{}, false
+	}
+	if !now.Before(e.Expires) {
+		delete(c.entries, key)
+		c.expired++
+		c.misses++
+		return Entry{}, false
+	}
+	c.hits++
+	return e, true
+}
+
+// Put stores a positive entry with the given TTL. A TTL <= 0 stores
+// nothing (the zero-TTL PTR records of the paper's controlled experiment
+// disable caching entirely).
+func (c *Cache) Put(key uint64, value string, ttl simtime.Duration, now simtime.Time) {
+	if ttl <= 0 {
+		delete(c.entries, key)
+		return
+	}
+	c.insert(key, Entry{Value: value, Expires: now.Add(ttl)}, now)
+}
+
+// PutNegative stores an NXDomain result for the negative-cache TTL.
+func (c *Cache) PutNegative(key uint64, ttl simtime.Duration, now simtime.Time) {
+	if ttl <= 0 {
+		delete(c.entries, key)
+		return
+	}
+	c.insert(key, Entry{Negative: true, Expires: now.Add(ttl)}, now)
+}
+
+func (c *Cache) insert(key uint64, e Entry, now simtime.Time) {
+	if c.max > 0 && len(c.entries) >= c.max {
+		if _, exists := c.entries[key]; !exists {
+			c.evict(now)
+		}
+	}
+	c.entries[key] = e
+}
+
+// evict removes one entry, preferring an expired one. Go's random map
+// iteration order provides the victim sampling; determinism of the overall
+// simulation does not depend on which victim is chosen, only on what the
+// cache answers, and expired-vs-live preference keeps answers stable.
+func (c *Cache) evict(now simtime.Time) {
+	var victim uint64
+	found := false
+	scanned := 0
+	for k, e := range c.entries {
+		if !now.Before(e.Expires) {
+			delete(c.entries, k)
+			c.expired++
+			return
+		}
+		if !found {
+			victim, found = k, true
+		}
+		if scanned++; scanned >= 8 {
+			break
+		}
+	}
+	if found {
+		delete(c.entries, victim)
+	}
+}
+
+// Len returns the number of stored entries, counting expired-but-unswept.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Stats returns cumulative hit/miss/expiry counters.
+func (c *Cache) Stats() (hits, misses, expired uint64) {
+	return c.hits, c.misses, c.expired
+}
+
+// Flush drops every entry.
+func (c *Cache) Flush() {
+	clear(c.entries)
+}

@@ -1,0 +1,200 @@
+// Package classify implements the sensor pipeline of Figure 2: interval
+// logs → deduplication → analyzable originators → feature vectors →
+// trained classifier → application classes, plus the training-over-time
+// strategies of §III-E / §V (train once, retrain daily on fresh features,
+// automatically grow the labeled set, and recurring expert curation).
+package classify
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"dnsbackscatter/internal/activity"
+	"dnsbackscatter/internal/dnslog"
+	"dnsbackscatter/internal/features"
+	"dnsbackscatter/internal/groundtruth"
+	"dnsbackscatter/internal/ipaddr"
+	"dnsbackscatter/internal/ml"
+	"dnsbackscatter/internal/rng"
+	"dnsbackscatter/internal/simtime"
+)
+
+// Snapshot is one observation interval's extracted view: the feature
+// vector of every analyzable originator.
+type Snapshot struct {
+	Start   simtime.Time
+	Dur     simtime.Duration
+	Vectors []*features.Vector
+
+	byOrig map[ipaddr.Addr]*features.Vector
+}
+
+// Snap extracts a snapshot from interval records.
+func Snap(recs []dnslog.Record, x *features.Extractor, start simtime.Time, dur simtime.Duration) *Snapshot {
+	s := &Snapshot{Start: start, Dur: dur, Vectors: x.Extract(recs, start, dur)}
+	s.index()
+	return s
+}
+
+func (s *Snapshot) index() {
+	s.byOrig = make(map[ipaddr.Addr]*features.Vector, len(s.Vectors))
+	for _, v := range s.Vectors {
+		s.byOrig[v.Originator] = v
+	}
+}
+
+// Vector returns the snapshot's vector for an originator, if analyzable.
+func (s *Snapshot) Vector(a ipaddr.Addr) (*features.Vector, bool) {
+	v, ok := s.byOrig[a]
+	return v, ok
+}
+
+// Ranked returns originator addresses by descending footprint.
+func (s *Snapshot) Ranked() []ipaddr.Addr {
+	out := make([]ipaddr.Addr, len(s.Vectors))
+	for i, v := range s.Vectors {
+		out[i] = v.Originator
+	}
+	return out
+}
+
+// SnapIntervals splits a time-ordered record stream into consecutive
+// intervals of length dur starting at start and snapshots each. Intervals
+// with no analyzable originator still appear (empty), so time series stay
+// aligned.
+func SnapIntervals(recs []dnslog.Record, x *features.Extractor, start simtime.Time, total, dur simtime.Duration) []*Snapshot {
+	n := int((total + dur - 1) / dur)
+	buckets := make([][]dnslog.Record, n)
+	for _, r := range recs {
+		i := int(r.Time.Sub(start) / dur)
+		if i < 0 || i >= n {
+			continue
+		}
+		buckets[i] = append(buckets[i], r)
+	}
+	out := make([]*Snapshot, n)
+	for i, b := range buckets {
+		out[i] = Snap(b, x, start.Add(simtime.Duration(i)*dur), dur)
+	}
+	return out
+}
+
+// Pipeline holds the classification configuration.
+type Pipeline struct {
+	Trainer ml.Trainer
+	// Votes > 1 trains that many instances and majority-votes them —
+	// the paper's 10-run rule for nondeterministic algorithms.
+	Votes int
+	// MinPerClass is the minimum labeled examples a class needs to enter
+	// training; classes below it are dropped (the paper requires ~20 but
+	// trains with less for sparse classes).
+	MinPerClass int
+	// MinClasses is the minimum distinct trainable classes; below it
+	// training fails (§V-C observes such failures).
+	MinClasses int
+}
+
+// NewPipeline returns a pipeline with the paper's defaults: Random Forest
+// with majority voting over 10 runs.
+func NewPipeline() *Pipeline {
+	return &Pipeline{
+		Trainer:     ml.Forest{Config: ml.ForestConfig{Trees: 60}},
+		Votes:       1,
+		MinPerClass: 3,
+		MinClasses:  2,
+	}
+}
+
+// ErrTooFewExamples reports an untrainable labeled snapshot.
+var ErrTooFewExamples = errors.New("classify: too few labeled examples to train")
+
+// Model is a trained originator classifier.
+type Model struct {
+	clf ml.Classifier
+}
+
+// TrainingSet assembles the ml design matrix from labels that re-appear in
+// the snapshot (only originators with current feature vectors can train).
+// It returns the matrix and the addresses in row order.
+func (p *Pipeline) TrainingSet(s *Snapshot, labels *groundtruth.LabeledSet) (*ml.Dataset, []ipaddr.Addr, error) {
+	minPer := p.MinPerClass
+	if minPer < 1 {
+		minPer = 1
+	}
+	// Count labeled examples present in this snapshot.
+	var present [activity.NumClasses][]ipaddr.Addr
+	for a, cls := range labels.Labels {
+		if _, ok := s.Vector(a); ok {
+			present[cls] = append(present[cls], a)
+		}
+	}
+	var rows [][]float64
+	var ys []int
+	var addrs []ipaddr.Addr
+	classes := 0
+	for cls := range present {
+		if len(present[cls]) < minPer {
+			continue
+		}
+		classes++
+		sort.Slice(present[cls], func(i, j int) bool { return present[cls][i] < present[cls][j] })
+		for _, a := range present[cls] {
+			v, _ := s.Vector(a)
+			rows = append(rows, v.X[:])
+			ys = append(ys, cls)
+			addrs = append(addrs, a)
+		}
+	}
+	if classes < max(2, p.MinClasses) {
+		return nil, nil, fmt.Errorf("%w: %d trainable classes, %d rows", ErrTooFewExamples, classes, len(rows))
+	}
+	ds, err := ml.NewDataset(rows, ys, int(activity.NumClasses))
+	if err != nil {
+		return nil, nil, err
+	}
+	return ds, addrs, nil
+}
+
+// Train fits a model on the labels as observed in snapshot s.
+func (p *Pipeline) Train(s *Snapshot, labels *groundtruth.LabeledSet, st *rng.Stream) (*Model, error) {
+	ds, _, err := p.TrainingSet(s, labels)
+	if err != nil {
+		return nil, err
+	}
+	if p.Votes > 1 {
+		return &Model{clf: ml.TrainMajority(p.Trainer, ds, p.Votes, st)}, nil
+	}
+	return &Model{clf: p.Trainer.Train(ds, st)}, nil
+}
+
+// Classify labels one feature vector.
+func (m *Model) Classify(v *features.Vector) activity.Class {
+	return activity.Class(m.clf.Predict(v.X[:]))
+}
+
+// ClassifyAll labels every analyzable originator in the snapshot.
+func (m *Model) ClassifyAll(s *Snapshot) map[ipaddr.Addr]activity.Class {
+	out := make(map[ipaddr.Addr]activity.Class, len(s.Vectors))
+	for _, v := range s.Vectors {
+		out[v.Originator] = m.Classify(v)
+	}
+	return out
+}
+
+// EvaluateOn scores the model against labeled examples that re-appear in
+// the snapshot — the paper's long-term validation method (§V-B): labels
+// are fixed, features are recomputed from the day under test.
+func (m *Model) EvaluateOn(s *Snapshot, labels *groundtruth.LabeledSet) (ml.Metrics, int) {
+	conf := ml.NewConfusion(int(activity.NumClasses))
+	n := 0
+	for a, cls := range labels.Labels {
+		v, ok := s.Vector(a)
+		if !ok {
+			continue
+		}
+		conf.Add(int(cls), int(m.Classify(v)))
+		n++
+	}
+	return conf.Score(), n
+}

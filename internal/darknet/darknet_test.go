@@ -1,0 +1,106 @@
+package darknet
+
+import (
+	"math"
+	"testing"
+
+	"dnsbackscatter/internal/ipaddr"
+	"dnsbackscatter/internal/rng"
+)
+
+func TestContains(t *testing.T) {
+	d := NewPaperDarknets(150)
+	if !d.Contains(ipaddr.MustParse("150.0.100.1")) {
+		t.Error("/17 address not monitored")
+	}
+	if !d.Contains(ipaddr.MustParse("150.200.10.1")) {
+		t.Error("/18 address not monitored")
+	}
+	if d.Contains(ipaddr.MustParse("150.128.0.1")) {
+		t.Error("address outside both prefixes reported monitored")
+	}
+	if d.Contains(ipaddr.MustParse("151.0.0.1")) {
+		t.Error("wrong /8 reported monitored")
+	}
+}
+
+func TestSizeAndFraction(t *testing.T) {
+	d := NewPaperDarknets(150)
+	want := uint64(1<<15 + 1<<14) // /17 + /18
+	if d.Size() != want {
+		t.Errorf("Size = %d, want %d", d.Size(), want)
+	}
+	if f := d.Fraction(); math.Abs(f-float64(want)/float64(uint64(1)<<32)) > 1e-15 {
+		t.Errorf("Fraction = %v", f)
+	}
+}
+
+func TestObserve(t *testing.T) {
+	d := NewPaperDarknets(150)
+	src := ipaddr.MustParse("1.2.3.4")
+	if !d.Observe(src, ipaddr.MustParse("150.0.0.1")) {
+		t.Error("monitored probe not observed")
+	}
+	if d.Observe(src, ipaddr.MustParse("9.9.9.9")) {
+		t.Error("unmonitored probe observed")
+	}
+	if d.Hits(src) != 1 {
+		t.Errorf("Hits = %d", d.Hits(src))
+	}
+}
+
+func TestObserveThinnedMean(t *testing.T) {
+	d := NewPaperDarknets(150)
+	src := ipaddr.MustParse("1.2.3.4")
+	st := rng.New(7)
+	// 10M raw probes at fraction ~1.14e-5 => ~114 expected hits; repeat
+	// to tighten the estimate.
+	const rounds = 50
+	for i := 0; i < rounds; i++ {
+		d.ObserveThinned(src, 1e7, st)
+	}
+	want := 1e7 * d.Fraction() * rounds
+	got := float64(d.Hits(src))
+	if math.Abs(got-want)/want > 0.1 {
+		t.Errorf("thinned hits = %v, want ≈%v", got, want)
+	}
+}
+
+func TestObserveThinnedZero(t *testing.T) {
+	d := NewPaperDarknets(150)
+	st := rng.New(7)
+	d.ObserveThinned(ipaddr.MustParse("1.2.3.4"), 0, st)
+	if d.Hits(ipaddr.MustParse("1.2.3.4")) != 0 {
+		t.Error("zero probes produced hits")
+	}
+}
+
+func TestConfirmedScanner(t *testing.T) {
+	d := NewPaperDarknets(150)
+	src := ipaddr.MustParse("1.2.3.4")
+	for i := 0; i < 1025; i++ {
+		d.Observe(src, ipaddr.FromOctets(150, 0, byte(i/256), byte(i%256)))
+	}
+	if !d.ConfirmedScanner(src, 1024) {
+		t.Error("1025 hits not confirmed at threshold 1024")
+	}
+	if d.ConfirmedScanner(ipaddr.MustParse("5.5.5.5"), 1024) {
+		t.Error("unseen source confirmed")
+	}
+}
+
+func TestSourcesSorted(t *testing.T) {
+	d := NewPaperDarknets(150)
+	a, b, c := ipaddr.Addr(1), ipaddr.Addr(2), ipaddr.Addr(3)
+	st := rng.New(1)
+	d.ObserveThinned(a, 5e6, st)
+	d.ObserveThinned(b, 5e7, st)
+	d.ObserveThinned(c, 5e5, st)
+	srcs := d.Sources(1)
+	if len(srcs) != 3 || srcs[0] != b {
+		t.Errorf("sources = %v (hits %d/%d/%d)", srcs, d.Hits(a), d.Hits(b), d.Hits(c))
+	}
+	if got := d.Sources(d.Hits(b) + 1); len(got) != 0 {
+		t.Error("threshold filter failed")
+	}
+}

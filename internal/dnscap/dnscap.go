@@ -1,0 +1,201 @@
+// Package dnscap implements the packet-capture side of backscatter
+// collection (§III-A): DNS queries written and read as framed wire-format
+// messages, in the spirit of dnstap streams and passive-DNS capture.
+//
+// A capture stream is a sequence of frames:
+//
+//	uvarint frameLen | frame
+//
+// where each frame is a fixed 16-byte pseudo-header (timestamp, querier
+// address, authority id, rcode) followed by the DNS message in RFC 1035
+// wire format. The reader recovers dnslog.Records by parsing each message
+// with dnswire and extracting the originator from the PTR question's
+// in-addr.arpa name — exactly what a sensor tapping an authority's packet
+// feed does. Non-reverse queries in the stream are skipped, mirroring the
+// paper's "retain only reverse DNS queries" filtering.
+package dnscap
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"dnsbackscatter/internal/dnslog"
+	"dnsbackscatter/internal/dnswire"
+	"dnsbackscatter/internal/ipaddr"
+	"dnsbackscatter/internal/simtime"
+)
+
+// Authority ids used in the pseudo-header. Strings stay out of the frame
+// so captures are compact.
+var authorityIDs = map[string]uint16{}
+var authorityNames []string
+
+// RegisterAuthority interns an authority name, returning its id. Safe to
+// call repeatedly; not safe for concurrent use with readers/writers.
+func RegisterAuthority(name string) uint16 {
+	if id, ok := authorityIDs[name]; ok {
+		return id
+	}
+	id := uint16(len(authorityNames))
+	authorityIDs[name] = id
+	authorityNames = append(authorityNames, name)
+	return id
+}
+
+// AuthorityName returns the interned name for an id.
+func AuthorityName(id uint16) (string, bool) {
+	if int(id) >= len(authorityNames) {
+		return "", false
+	}
+	return authorityNames[id], true
+}
+
+func init() {
+	// Stable ids for the standard sensors.
+	for _, n := range []string{"b-root", "m-root", "jp"} {
+		RegisterAuthority(n)
+	}
+}
+
+const headerLen = 16
+
+// Writer emits capture frames.
+type Writer struct {
+	bw    *bufio.Writer
+	buf   []byte
+	frame []byte
+	n     int
+}
+
+// NewWriter returns a capture writer.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Write encodes one observed query as a frame.
+func (w *Writer) Write(r dnslog.Record) error {
+	id, ok := authorityIDs[r.Authority]
+	if !ok {
+		id = RegisterAuthority(r.Authority)
+	}
+	w.frame = w.frame[:0]
+	var hdr [headerLen]byte
+	binary.BigEndian.PutUint64(hdr[0:8], uint64(r.Time))
+	binary.BigEndian.PutUint32(hdr[8:12], uint32(r.Querier))
+	binary.BigEndian.PutUint16(hdr[12:14], id)
+	hdr[14] = r.RCode
+	hdr[15] = 0 // reserved
+	w.frame = append(w.frame, hdr[:]...)
+
+	msg := dnswire.NewPTRQuery(uint16(w.n), r.Originator.ReverseName())
+	var err error
+	w.frame, err = msg.Encode(w.frame)
+	if err != nil {
+		return fmt.Errorf("dnscap: %w", err)
+	}
+
+	w.buf = binary.AppendUvarint(w.buf[:0], uint64(len(w.frame)))
+	if _, err := w.bw.Write(w.buf); err != nil {
+		return err
+	}
+	if _, err := w.bw.Write(w.frame); err != nil {
+		return err
+	}
+	w.n++
+	return nil
+}
+
+// Count reports frames written.
+func (w *Writer) Count() int { return w.n }
+
+// Flush flushes buffered output.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// Reader parses capture frames back to records.
+type Reader struct {
+	br      *bufio.Reader
+	msg     dnswire.Message
+	frame   []byte
+	skipped int
+}
+
+// NewReader returns a capture reader.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// ErrBadFrame reports a malformed capture frame.
+var ErrBadFrame = errors.New("dnscap: malformed frame")
+
+// maxFrame bounds frame sizes against corrupt length prefixes.
+const maxFrame = 64 << 10
+
+// Read returns the next reverse-query record, skipping frames that are not
+// reverse PTR queries. io.EOF signals a clean end of stream.
+func (r *Reader) Read() (dnslog.Record, error) {
+	for {
+		n, err := binary.ReadUvarint(r.br)
+		if err == io.EOF {
+			return dnslog.Record{}, io.EOF
+		}
+		if err != nil {
+			return dnslog.Record{}, fmt.Errorf("%w: bad length: %v", ErrBadFrame, err)
+		}
+		if n < headerLen+12 || n > maxFrame {
+			return dnslog.Record{}, fmt.Errorf("%w: frame length %d", ErrBadFrame, n)
+		}
+		if cap(r.frame) < int(n) {
+			r.frame = make([]byte, n)
+		}
+		r.frame = r.frame[:n]
+		if _, err := io.ReadFull(r.br, r.frame); err != nil {
+			return dnslog.Record{}, fmt.Errorf("%w: truncated frame: %v", ErrBadFrame, err)
+		}
+
+		var rec dnslog.Record
+		rec.Time = simtime.Time(binary.BigEndian.Uint64(r.frame[0:8]))
+		rec.Querier = ipaddr.Addr(binary.BigEndian.Uint32(r.frame[8:12]))
+		id := binary.BigEndian.Uint16(r.frame[12:14])
+		rec.RCode = r.frame[14]
+		name, ok := AuthorityName(id)
+		if !ok {
+			return dnslog.Record{}, fmt.Errorf("%w: unknown authority id %d", ErrBadFrame, id)
+		}
+		rec.Authority = name
+
+		if err := dnswire.DecodeInto(r.frame[headerLen:], &r.msg); err != nil {
+			return dnslog.Record{}, fmt.Errorf("%w: %v", ErrBadFrame, err)
+		}
+		if !dnswire.IsReversePTRQuery(&r.msg) {
+			r.skipped++
+			continue // forward traffic is not backscatter
+		}
+		orig, err := ipaddr.FromReverseName(r.msg.Questions[0].Name)
+		if err != nil {
+			return dnslog.Record{}, fmt.Errorf("%w: %v", ErrBadFrame, err)
+		}
+		rec.Originator = orig
+		return rec, nil
+	}
+}
+
+// Skipped reports how many non-reverse frames were filtered out.
+func (r *Reader) Skipped() int { return r.skipped }
+
+// ReadAll drains the stream.
+func (r *Reader) ReadAll() ([]dnslog.Record, error) {
+	var out []dnslog.Record
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}

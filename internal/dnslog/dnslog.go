@@ -1,0 +1,219 @@
+// Package dnslog models the query logs a backscatter sensor collects at a
+// DNS authority (§III-A).
+//
+// Each reverse query observed at the authority yields one Record — the
+// (originator, querier, authority) tuple plus timestamp and response code.
+// The package provides a line-oriented text codec (one record per line, in
+// the spirit of dnstap/TSV logging), streaming reader/writer, the paper's
+// 30-second per-(originator, querier) deduplication window, and the
+// 10-minute persistence bucketing used by dynamic features.
+package dnslog
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"dnsbackscatter/internal/ipaddr"
+	"dnsbackscatter/internal/simtime"
+)
+
+// Record is one reverse DNS query observed at an authority.
+type Record struct {
+	Time       simtime.Time
+	Originator ipaddr.Addr // address whose reverse name was queried
+	Querier    ipaddr.Addr // source of the DNS query (recursive resolver)
+	Authority  string      // sensor name, e.g. "jp", "b-root", "m-root"
+	RCode      uint8       // response code returned by the authority
+}
+
+// Key identifies the (originator, querier) pair of r.
+func (r Record) Key() PairKey {
+	return PairKey{Originator: r.Originator, Querier: r.Querier}
+}
+
+// PairKey is a hashable (originator, querier) pair.
+type PairKey struct {
+	Originator ipaddr.Addr
+	Querier    ipaddr.Addr
+}
+
+// AppendText appends r's line form (without newline) to dst.
+func (r Record) AppendText(dst []byte) []byte {
+	dst = strconv.AppendInt(dst, int64(r.Time), 10)
+	dst = append(dst, '\t')
+	dst = append(dst, r.Originator.String()...)
+	dst = append(dst, '\t')
+	dst = append(dst, r.Querier.String()...)
+	dst = append(dst, '\t')
+	dst = append(dst, r.Authority...)
+	dst = append(dst, '\t')
+	dst = strconv.AppendUint(dst, uint64(r.RCode), 10)
+	return dst
+}
+
+// ErrBadRecord reports a malformed log line.
+var ErrBadRecord = errors.New("dnslog: malformed record")
+
+// ParseRecord parses one log line produced by AppendText.
+func ParseRecord(line string) (Record, error) {
+	var r Record
+	fields := strings.Split(line, "\t")
+	if len(fields) != 5 {
+		return r, fmt.Errorf("%w: %d fields", ErrBadRecord, len(fields))
+	}
+	ts, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil {
+		return r, fmt.Errorf("%w: bad timestamp %q", ErrBadRecord, fields[0])
+	}
+	r.Time = simtime.Time(ts)
+	if r.Originator, err = ipaddr.Parse(fields[1]); err != nil {
+		return r, fmt.Errorf("%w: bad originator: %v", ErrBadRecord, err)
+	}
+	if r.Querier, err = ipaddr.Parse(fields[2]); err != nil {
+		return r, fmt.Errorf("%w: bad querier: %v", ErrBadRecord, err)
+	}
+	r.Authority = fields[3]
+	rc, err := strconv.ParseUint(fields[4], 10, 8)
+	if err != nil {
+		return r, fmt.Errorf("%w: bad rcode %q", ErrBadRecord, fields[4])
+	}
+	r.RCode = uint8(rc)
+	return r, nil
+}
+
+// Writer streams records to an io.Writer, one line each.
+type Writer struct {
+	bw  *bufio.Writer
+	buf []byte
+	n   int
+}
+
+// NewWriter returns a buffered log writer.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriterSize(w, 1<<16), buf: make([]byte, 0, 64)}
+}
+
+// Write appends one record.
+func (w *Writer) Write(r Record) error {
+	w.buf = r.AppendText(w.buf[:0])
+	w.buf = append(w.buf, '\n')
+	if _, err := w.bw.Write(w.buf); err != nil {
+		return err
+	}
+	w.n++
+	return nil
+}
+
+// Count returns how many records have been written.
+func (w *Writer) Count() int { return w.n }
+
+// Flush flushes buffered output.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// Reader streams records from an io.Reader.
+type Reader struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// NewReader returns a log reader over r.
+func NewReader(r io.Reader) *Reader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	return &Reader{sc: sc}
+}
+
+// Read returns the next record, or io.EOF when the stream is exhausted.
+func (r *Reader) Read() (Record, error) {
+	for r.sc.Scan() {
+		r.line++
+		line := strings.TrimSpace(r.sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rec, err := ParseRecord(line)
+		if err != nil {
+			return Record{}, fmt.Errorf("line %d: %w", r.line, err)
+		}
+		return rec, nil
+	}
+	if err := r.sc.Err(); err != nil {
+		return Record{}, err
+	}
+	return Record{}, io.EOF
+}
+
+// ReadAll drains the reader into a slice.
+func (r *Reader) ReadAll() ([]Record, error) {
+	var out []Record
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// Deduper suppresses repeat queries from the same querier for the same
+// originator within a time window. The paper uses 30 s to avoid skew from
+// queriers that ignore DNS timeout rules (§III-C).
+type Deduper struct {
+	Window simtime.Duration
+	last   map[PairKey]simtime.Time
+}
+
+// NewDeduper returns a deduper with the given suppression window. A window
+// of 0 passes everything through.
+func NewDeduper(window simtime.Duration) *Deduper {
+	return &Deduper{Window: window, last: make(map[PairKey]simtime.Time)}
+}
+
+// Keep reports whether r survives deduplication, updating state. Records
+// must be fed in non-decreasing time order for exact window semantics.
+func (d *Deduper) Keep(r Record) bool {
+	if d.Window <= 0 {
+		return true
+	}
+	k := r.Key()
+	if t, ok := d.last[k]; ok && r.Time.Sub(t) < d.Window {
+		return false
+	}
+	d.last[k] = r.Time
+	return true
+}
+
+// Reset clears the deduper's memory (e.g. at an interval boundary).
+func (d *Deduper) Reset() {
+	clear(d.last)
+}
+
+// Dedup filters records (assumed time-ordered) through a fresh deduper.
+func Dedup(recs []Record, window simtime.Duration) []Record {
+	d := NewDeduper(window)
+	out := recs[:0:0]
+	for _, r := range recs {
+		if d.Keep(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// PersistenceBuckets returns how many distinct 10-minute periods contain at
+// least one of the given record times — the paper's query-persistence
+// dynamic feature.
+func PersistenceBuckets(times []simtime.Time) int {
+	seen := make(map[int]struct{}, len(times))
+	for _, t := range times {
+		seen[t.TenMinuteBucket()] = struct{}{}
+	}
+	return len(seen)
+}

@@ -1,0 +1,266 @@
+// Package dnsserver implements the operational end of backscatter
+// collection: an authoritative UDP DNS server for reverse (in-addr.arpa)
+// zones whose query stream is the sensor input (§III-A — "queries may be
+// obtained through packet capture on the network or through logging in the
+// DNS server itself"), plus the PTR lookup client queriers use.
+//
+// The server answers from an OriginatorProfile source — the same interface
+// the simulator uses — so a synthetic world can be served over real
+// sockets and collected exactly as a production deployment would be.
+package dnsserver
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dnsbackscatter/internal/dnslog"
+	"dnsbackscatter/internal/dnssim"
+	"dnsbackscatter/internal/dnswire"
+	"dnsbackscatter/internal/ipaddr"
+	"dnsbackscatter/internal/simtime"
+)
+
+// Sink receives one record per observed reverse query. Implementations
+// must be safe for concurrent use; Server serializes calls itself, so a
+// plain function closing over a slice is fine when only one Server logs
+// to it.
+type Sink func(dnslog.Record)
+
+// Handler produces the response for one parsed query. resp == nil with
+// answer == false means stay silent (an unreachable authority); rec, when
+// non-nil, is delivered to the sensor sink.
+type Handler func(q *dnswire.Message, peer *net.UDPAddr) (resp *dnswire.Message, rec *dnslog.Record, answer bool)
+
+// Server is an authoritative reverse-DNS server over UDP.
+type Server struct {
+	conn      *net.UDPConn
+	authority string
+
+	mu      sync.Mutex
+	handler Handler
+	sink    Sink
+
+	queries uint64 // atomic
+	dropped uint64 // atomic: unparseable or non-DNS datagrams
+
+	closed chan struct{}
+	done   sync.WaitGroup
+}
+
+// Listen binds a final-authority server to addr (e.g. "127.0.0.1:0").
+// profile supplies the zone contents; nil uses dnssim.DefaultProfile.
+// authority names the sensor in emitted records.
+func Listen(addr, authority string, profile dnssim.ProfileFunc) (*Server, error) {
+	if profile == nil {
+		profile = dnssim.DefaultProfile
+	}
+	s, err := ListenHandler(addr, authority, nil)
+	if err != nil {
+		return nil, err
+	}
+	s.SetHandler(s.finalHandler(profile))
+	return s, nil
+}
+
+// SetHandler installs or replaces the query handler.
+func (s *Server) SetHandler(h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handler = h
+}
+
+// ListenHandler binds a server with an arbitrary handler (referral servers
+// use this). A nil handler must be installed before traffic arrives.
+func ListenHandler(addr, authority string, h Handler) (*Server, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dnsserver: %w", err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("dnsserver: %w", err)
+	}
+	s := &Server{
+		conn:      conn,
+		handler:   h,
+		authority: authority,
+		closed:    make(chan struct{}),
+	}
+	s.done.Add(1)
+	go s.serve()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() *net.UDPAddr { return s.conn.LocalAddr().(*net.UDPAddr) }
+
+// SetSink installs the observation tap.
+func (s *Server) SetSink(sink Sink) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sink = sink
+}
+
+// Queries returns how many well-formed DNS queries arrived.
+func (s *Server) Queries() uint64 { return atomic.LoadUint64(&s.queries) }
+
+// Dropped returns how many datagrams failed to parse.
+func (s *Server) Dropped() uint64 { return atomic.LoadUint64(&s.dropped) }
+
+// Close stops the server and waits for the serve loop to exit.
+func (s *Server) Close() error {
+	select {
+	case <-s.closed:
+		return nil
+	default:
+	}
+	close(s.closed)
+	err := s.conn.Close()
+	s.done.Wait()
+	return err
+}
+
+// serve is the receive loop. Handling is inline: authoritative answers
+// need no blocking work, so one loop outruns a pool for this workload.
+func (s *Server) serve() {
+	defer s.done.Done()
+	buf := make([]byte, 4096)
+	out := make([]byte, 0, 512)
+	var msg dnswire.Message
+	for {
+		n, peer, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+			}
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			return
+		}
+		if err := dnswire.DecodeInto(buf[:n], &msg); err != nil {
+			atomic.AddUint64(&s.dropped, 1)
+			continue
+		}
+		if msg.Header.QR || len(msg.Questions) != 1 {
+			atomic.AddUint64(&s.dropped, 1)
+			continue
+		}
+		atomic.AddUint64(&s.queries, 1)
+
+		s.mu.Lock()
+		h := s.handler
+		s.mu.Unlock()
+		if h == nil {
+			continue
+		}
+		resp, rec, answer := h(&msg, peer)
+		if rec != nil {
+			s.mu.Lock()
+			if s.sink != nil {
+				s.sink(*rec)
+			}
+			s.mu.Unlock()
+		}
+		if !answer {
+			continue // unreachable-authority simulation: stay silent
+		}
+		out = out[:0]
+		out, err = resp.Encode(out)
+		if err != nil {
+			continue
+		}
+		_, _ = s.conn.WriteToUDP(out, peer)
+	}
+}
+
+// record builds the sensor record for a reverse query from peer.
+func (s *Server) record(orig ipaddr.Addr, peer *net.UDPAddr) *dnslog.Record {
+	querier := ipaddr.Addr(0)
+	if v4 := peer.IP.To4(); v4 != nil {
+		querier = ipaddr.FromOctets(v4[0], v4[1], v4[2], v4[3])
+	}
+	return &dnslog.Record{
+		Time:       simtime.Time(time.Now().Unix()),
+		Originator: orig,
+		Querier:    querier,
+		Authority:  s.authority,
+	}
+}
+
+// finalHandler answers PTR queries authoritatively from profiles and
+// records every reverse query at the sink.
+func (s *Server) finalHandler(profile dnssim.ProfileFunc) Handler {
+	return func(q *dnswire.Message, peer *net.UDPAddr) (*dnswire.Message, *dnslog.Record, bool) {
+		if !dnswire.IsReversePTRQuery(q) {
+			return dnswire.NewResponse(q, dnswire.RCodeFormErr), nil, true
+		}
+		orig, err := ipaddr.FromReverseName(q.Questions[0].Name)
+		if err != nil {
+			return dnswire.NewResponse(q, dnswire.RCodeFormErr), nil, true
+		}
+		p := profile(orig)
+		rec := s.record(orig, peer)
+
+		switch {
+		case p.FinalUnreachable:
+			return nil, rec, false
+		case p.HasName:
+			resp := dnswire.NewResponse(q, dnswire.RCodeNoError)
+			resp.Header.AA = true
+			resp.AddAnswer(dnswire.RR{
+				Name:   q.Questions[0].Name,
+				Type:   dnswire.TypePTR,
+				Class:  dnswire.ClassIN,
+				TTL:    uint32(p.TTL),
+				Target: p.Name,
+			})
+			return resp, rec, true
+		default:
+			rec.RCode = dnswire.RCodeNXDomain
+			resp := dnswire.NewResponse(q, dnswire.RCodeNXDomain)
+			resp.Header.AA = true
+			return resp, rec, true
+		}
+	}
+}
+
+// Client performs PTR lookups against a server, with the retransmit
+// behavior real stub resolvers have.
+type Client struct {
+	// Timeout per attempt (default 500 ms).
+	Timeout time.Duration
+	// Retries beyond the first attempt (default 2).
+	Retries int
+
+	nextID uint32 // atomic
+}
+
+// ErrTimeout reports that every attempt went unanswered — how an
+// unreachable final authority manifests to a querier.
+var ErrTimeout = errors.New("dnsserver: query timed out")
+
+func nextQueryID(c *Client) uint16 {
+	return uint16(atomic.AddUint32(&c.nextID, 1))
+}
+
+// LookupPTR resolves the reverse name of addr via the server at
+// serverAddr. It returns the PTR target, the response code, and the number
+// of datagrams actually sent (retransmits included; the duplicates the
+// paper's 30 s dedup window absorbs).
+func (c *Client) LookupPTR(serverAddr string, addr ipaddr.Addr) (target string, rcode uint8, sent int, err error) {
+	msg, sent, err := c.queryPTR(serverAddr, addr)
+	if err != nil {
+		return "", 0, sent, err
+	}
+	if len(msg.Answers) > 0 {
+		return msg.Answers[0].Target, msg.Header.RCode, sent, nil
+	}
+	return "", msg.Header.RCode, sent, nil
+}

@@ -1,0 +1,303 @@
+package dnsserver
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"dnsbackscatter/internal/cache"
+	"dnsbackscatter/internal/dnslog"
+	"dnsbackscatter/internal/dnswire"
+	"dnsbackscatter/internal/ipaddr"
+	"dnsbackscatter/internal/simtime"
+)
+
+// This file implements the delegation side of Figure 1 over real sockets:
+// referral servers for the upper reverse tree (the root / in-addr.arpa
+// apex and the /8 national registries) and a caching recursive resolver
+// that walks them. Together with the final-authority handler they form a
+// complete live reverse-DNS hierarchy whose sensors observe backscatter
+// with exactly the cache attenuation the simulator models.
+//
+// Glue: real delegations carry A records and servers live on port 53; the
+// test hierarchy binds ephemeral loopback ports, so each referral also
+// carries an SRV record holding the delegated server's port.
+
+// Delegation names the authoritative server for a child zone.
+type Delegation struct {
+	Zone string       // e.g. "1.in-addr.arpa" or "2.1.in-addr.arpa"
+	NS   string       // nameserver hostname, e.g. "ns.registry-1.example"
+	Addr *net.UDPAddr // where that server actually listens
+	TTL  simtime.Duration
+}
+
+// PickFunc chooses the delegation covering an originator address, or
+// reports that this server has none (lame delegation).
+type PickFunc func(ipaddr.Addr) (Delegation, bool)
+
+// InstallReferralHandler wires a referral handler for pick onto s.
+func InstallReferralHandler(s *Server, pick PickFunc) {
+	s.SetHandler(ReferralHandler(s, pick))
+}
+
+// ReferralHandler answers reverse queries with a referral toward the
+// originator's zone, recording each query at the sensor — the behavior of
+// the root and national authorities the paper instruments.
+func ReferralHandler(s *Server, pick PickFunc) Handler {
+	return func(q *dnswire.Message, peer *net.UDPAddr) (*dnswire.Message, *dnslog.Record, bool) {
+		if !dnswire.IsReversePTRQuery(q) {
+			return dnswire.NewResponse(q, dnswire.RCodeFormErr), nil, true
+		}
+		orig, err := ipaddr.FromReverseName(q.Questions[0].Name)
+		if err != nil {
+			return dnswire.NewResponse(q, dnswire.RCodeFormErr), nil, true
+		}
+		rec := s.record(orig, peer)
+		del, ok := pick(orig)
+		if !ok {
+			rec.RCode = dnswire.RCodeNXDomain
+			resp := dnswire.NewResponse(q, dnswire.RCodeNXDomain)
+			resp.Header.AA = true
+			return resp, rec, true
+		}
+		resp := dnswire.NewResponse(q, dnswire.RCodeNoError)
+		resp.Authority = append(resp.Authority, dnswire.RR{
+			Name:   del.Zone,
+			Type:   dnswire.TypeNS,
+			Class:  dnswire.ClassIN,
+			TTL:    uint32(del.TTL),
+			Target: del.NS,
+		})
+		ip4 := del.Addr.IP.To4()
+		if ip4 == nil {
+			ip4 = net.IPv4(127, 0, 0, 1).To4()
+		}
+		resp.Additional = append(resp.Additional,
+			dnswire.RR{
+				Name:  del.NS,
+				Type:  dnswire.TypeA,
+				Class: dnswire.ClassIN,
+				TTL:   uint32(del.TTL),
+				RData: []byte{ip4[0], ip4[1], ip4[2], ip4[3]},
+			},
+			dnswire.RR{
+				Name:  del.NS,
+				Type:  dnswire.TypeSRV,
+				Class: dnswire.ClassIN,
+				TTL:   uint32(del.TTL),
+				// priority, weight, port — target carried by the A record.
+				RData: []byte{0, 0, 0, 0, byte(del.Addr.Port >> 8), byte(del.Addr.Port)},
+			},
+		)
+		return resp, rec, true
+	}
+}
+
+// referralTarget extracts the delegated server address from a referral
+// response's additional section.
+func referralTarget(m *dnswire.Message) (zone string, addr *net.UDPAddr, ttl simtime.Duration, ok bool) {
+	var ns string
+	for _, rr := range m.Authority {
+		if rr.Type == dnswire.TypeNS {
+			zone, ns, ttl = rr.Name, rr.Target, simtime.Duration(rr.TTL)
+			break
+		}
+	}
+	if ns == "" {
+		return "", nil, 0, false
+	}
+	var ip net.IP
+	port := 53
+	for _, rr := range m.Additional {
+		if rr.Name != ns {
+			continue
+		}
+		switch rr.Type {
+		case dnswire.TypeA:
+			if len(rr.RData) == 4 {
+				ip = net.IPv4(rr.RData[0], rr.RData[1], rr.RData[2], rr.RData[3])
+			}
+		case dnswire.TypeSRV:
+			if len(rr.RData) >= 6 {
+				port = int(rr.RData[4])<<8 | int(rr.RData[5])
+			}
+		}
+	}
+	if ip == nil {
+		return "", nil, 0, false
+	}
+	return zone, &net.UDPAddr{IP: ip, Port: port}, ttl, true
+}
+
+// Trace records which authorities one recursive resolution contacted.
+type Trace struct {
+	Root     bool
+	National bool
+	Final    bool
+	Queries  int // datagrams sent, retransmits included
+}
+
+// Recursor is a caching recursive resolver walking the live hierarchy —
+// the querier-side machinery whose caches attenuate what upper-level
+// sensors see (§II, §IV-D).
+type Recursor struct {
+	// Roots are the root server addresses (host:port), tried in order.
+	Roots []string
+	// Client performs the individual queries.
+	Client Client
+	// NegTTL caches NXDomain answers (default 5 minutes).
+	NegTTL simtime.Duration
+
+	cache *cache.Cache
+}
+
+// NewRecursor returns a recursor with a fresh cache.
+func NewRecursor(roots ...string) *Recursor {
+	return &Recursor{Roots: roots, NegTTL: 5 * simtime.Minute, cache: cache.New(8192)}
+}
+
+// Cache keys mirror the simulator's tagging scheme.
+func rcPTRKey(o ipaddr.Addr) uint64 { return 1<<40 | uint64(o) }
+func rcZ8Key(o ipaddr.Addr) uint64  { return 2<<40 | uint64(o.Slash8()) }
+func rcZ16Key(o ipaddr.Addr) uint64 { return 3<<40 | uint64(o.Slash16()) }
+
+// maxChase bounds referral chains against delegation loops.
+const maxChase = 8
+
+// ResolvePTR recursively resolves the reverse name of addr at the given
+// simulated instant (the recursor's caches run on simtime so tests control
+// expiry). It returns the PTR target ("" for NXDomain) and a trace of the
+// authorities contacted.
+func (r *Recursor) ResolvePTR(addr ipaddr.Addr, now simtime.Time) (string, Trace, error) {
+	var tr Trace
+	if e, ok := r.cache.Get(rcPTRKey(addr), now); ok {
+		if e.Negative {
+			return "", tr, nil
+		}
+		return e.Value, tr, nil
+	}
+
+	// Deepest cached delegation wins; otherwise start at a root.
+	server := ""
+	level := 0 // 0 root, 1 national, 2 final
+	if e, ok := r.cache.Get(rcZ16Key(addr), now); ok {
+		server, level = e.Value, 2
+	} else if e, ok := r.cache.Get(rcZ8Key(addr), now); ok {
+		server, level = e.Value, 1
+	} else {
+		if len(r.Roots) == 0 {
+			return "", tr, fmt.Errorf("dnsserver: recursor has no roots")
+		}
+		server, level = r.Roots[0], 0
+	}
+
+	for hop := 0; hop < maxChase; hop++ {
+		switch level {
+		case 0:
+			tr.Root = true
+		case 1:
+			tr.National = true
+		default:
+			tr.Final = true
+		}
+		msg, sent, err := r.Client.queryPTR(server, addr)
+		tr.Queries += sent
+		if err != nil {
+			// Unreachable authority: remember briefly, as stubs do.
+			r.cache.PutNegative(rcPTRKey(addr), r.NegTTL, now)
+			return "", tr, err
+		}
+		switch {
+		case len(msg.Answers) > 0 && msg.Answers[0].Type == dnswire.TypePTR:
+			ttl := simtime.Duration(msg.Answers[0].TTL)
+			r.cache.Put(rcPTRKey(addr), msg.Answers[0].Target, ttl, now)
+			return msg.Answers[0].Target, tr, nil
+		case msg.Header.RCode == dnswire.RCodeNXDomain:
+			r.cache.PutNegative(rcPTRKey(addr), r.NegTTL, now)
+			return "", tr, nil
+		default:
+			zone, next, ttl, ok := referralTarget(msg)
+			if !ok {
+				return "", tr, fmt.Errorf("dnsserver: lame response from %s", server)
+			}
+			// Zone depth tells the cache tier: "1.in-addr.arpa" has 3
+			// labels (a /8 zone), "2.1.in-addr.arpa" has 4 (a /16 zone).
+			if labelCount(zone) >= 4 {
+				r.cache.Put(rcZ16Key(addr), next.String(), ttl, now)
+				level = 2
+			} else {
+				r.cache.Put(rcZ8Key(addr), next.String(), ttl, now)
+				level = 1
+			}
+			server = next.String()
+		}
+	}
+	return "", tr, fmt.Errorf("dnsserver: referral chain exceeded %d hops", maxChase)
+}
+
+func labelCount(name string) int {
+	if name == "" {
+		return 0
+	}
+	n := 1
+	for i := 0; i < len(name); i++ {
+		if name[i] == '.' {
+			n++
+		}
+	}
+	return n
+}
+
+// queryPTR sends one PTR query and returns the parsed response message.
+func (c *Client) queryPTR(serverAddr string, addr ipaddr.Addr) (*dnswire.Message, int, error) {
+	timeout := c.Timeout
+	if timeout <= 0 {
+		timeout = 500 * time.Millisecond
+	}
+	retries := c.Retries
+	if retries < 0 {
+		retries = 0
+	}
+	conn, err := net.Dial("udp", serverAddr)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer conn.Close()
+
+	id := nextQueryID(c)
+	query, err := dnswire.NewPTRQuery(id, addr.ReverseName()).Encode(nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	buf := make([]byte, 4096)
+	sent := 0
+	var msg dnswire.Message
+	for attempt := 0; attempt <= retries; attempt++ {
+		if _, err := conn.Write(query); err != nil {
+			return nil, sent, err
+		}
+		sent++
+		deadline := time.Now().Add(timeout)
+		for {
+			if err := conn.SetReadDeadline(deadline); err != nil {
+				return nil, sent, err
+			}
+			n, err := conn.Read(buf)
+			if err != nil {
+				if ne, ok := err.(net.Error); ok && ne.Timeout() {
+					break
+				}
+				return nil, sent, err
+			}
+			if err := dnswire.DecodeInto(buf[:n], &msg); err != nil {
+				continue
+			}
+			if !msg.Header.QR || msg.Header.ID != id {
+				continue
+			}
+			out := msg // copy header/slices for the caller
+			return &out, sent, nil
+		}
+	}
+	return nil, sent, ErrTimeout
+}

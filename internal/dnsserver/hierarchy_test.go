@@ -1,0 +1,264 @@
+package dnsserver
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"dnsbackscatter/internal/dnslog"
+	"dnsbackscatter/internal/dnssim"
+	"dnsbackscatter/internal/ipaddr"
+	"dnsbackscatter/internal/simtime"
+)
+
+// liveHierarchy is a three-level reverse-DNS deployment on loopback: one
+// root, one national registry covering /8s 100 and 101, and one final
+// authority per /16 queried.
+type liveHierarchy struct {
+	root     *Server
+	national *Server
+	final    *Server
+
+	mu      sync.Mutex
+	records map[string][]dnslog.Record // authority -> records
+}
+
+func startHierarchy(t *testing.T) *liveHierarchy {
+	t.Helper()
+	h := &liveHierarchy{records: make(map[string][]dnslog.Record)}
+	sinkFor := func(name string) Sink {
+		return func(r dnslog.Record) {
+			h.mu.Lock()
+			h.records[name] = append(h.records[name], r)
+			h.mu.Unlock()
+		}
+	}
+
+	// Final authority: every /16 under /8s 100-101 answers from a fixed
+	// profile (1 h PTR TTL).
+	final, err := Listen("127.0.0.1:0", "final", func(a ipaddr.Addr) dnssim.OriginatorProfile {
+		return dnssim.OriginatorProfile{
+			HasName: true,
+			Name:    "origin-" + a.String() + ".example.net",
+			TTL:     simtime.Hour,
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { final.Close() })
+	final.SetSink(sinkFor("final"))
+	h.final = final
+
+	// National registry: refers every /16 it covers to the final server,
+	// with a 6 h delegation TTL.
+	national, err := ListenHandler("127.0.0.1:0", "national", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { national.Close() })
+	national.SetSink(sinkFor("national"))
+	national.SetHandler(ReferralHandler(national, func(a ipaddr.Addr) (Delegation, bool) {
+		if a.Slash8() != 100 && a.Slash8() != 101 {
+			return Delegation{}, false
+		}
+		o0, o1, _, _ := a.Octets()
+		zone := itoa(int(o1)) + "." + itoa(int(o0)) + ".in-addr.arpa"
+		return Delegation{Zone: zone, NS: "ns.final.example", Addr: final.Addr(), TTL: 6 * simtime.Hour}, true
+	}))
+	h.national = national
+
+	// Root: refers /8s 100-101 to the national registry, 2 d TTL.
+	root, err := ListenHandler("127.0.0.1:0", "root", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { root.Close() })
+	root.SetSink(sinkFor("root"))
+	root.SetHandler(ReferralHandler(root, func(a ipaddr.Addr) (Delegation, bool) {
+		if a.Slash8() != 100 && a.Slash8() != 101 {
+			return Delegation{}, false
+		}
+		zone := itoa(int(a.Slash8())) + ".in-addr.arpa"
+		return Delegation{Zone: zone, NS: "ns.registry.example", Addr: national.Addr(), TTL: 2 * simtime.Day}, true
+	}))
+	h.root = root
+	return h
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [3]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func (h *liveHierarchy) count(authority string) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.records[authority])
+}
+
+func newRecursor(h *liveHierarchy) *Recursor {
+	r := NewRecursor(h.root.Addr().String())
+	r.Client.Timeout = 400 * time.Millisecond
+	return r
+}
+
+func TestRecursorColdWalk(t *testing.T) {
+	h := startHierarchy(t)
+	r := newRecursor(h)
+	orig := ipaddr.MustParse("100.50.3.4")
+	target, tr, err := r.ResolvePTR(orig, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if target != "origin-100.50.3.4.example.net" {
+		t.Errorf("target = %q", target)
+	}
+	if !tr.Root || !tr.National || !tr.Final {
+		t.Errorf("cold walk trace = %+v, want all three levels", tr)
+	}
+	if h.count("root") != 1 || h.count("national") != 1 || h.count("final") != 1 {
+		t.Errorf("sensor counts root=%d national=%d final=%d, want 1/1/1",
+			h.count("root"), h.count("national"), h.count("final"))
+	}
+}
+
+func TestRecursorCacheAttenuation(t *testing.T) {
+	h := startHierarchy(t)
+	r := newRecursor(h)
+	orig := ipaddr.MustParse("100.50.3.4")
+	if _, _, err := r.ResolvePTR(orig, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Within the PTR TTL: fully cached, nothing contacted.
+	_, tr, err := r.ResolvePTR(orig, simtime.Time(30*simtime.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Root || tr.National || tr.Final || tr.Queries != 0 {
+		t.Errorf("cached resolve trace = %+v", tr)
+	}
+
+	// Past the PTR TTL but inside both delegation TTLs: final only.
+	_, tr, err = r.ResolvePTR(orig, simtime.Time(2*simtime.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Root || tr.National || !tr.Final {
+		t.Errorf("post-PTR-TTL trace = %+v, want final only", tr)
+	}
+
+	// Past the /16 delegation TTL: national + final, root still warm.
+	_, tr, err = r.ResolvePTR(orig, simtime.Time(8*simtime.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Root || !tr.National || !tr.Final {
+		t.Errorf("post-z16-TTL trace = %+v, want national+final", tr)
+	}
+
+	// Past the /8 delegation TTL: the full walk again.
+	_, tr, err = r.ResolvePTR(orig, simtime.Time(3*simtime.Day))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Root || !tr.National || !tr.Final {
+		t.Errorf("post-z8-TTL trace = %+v, want full walk", tr)
+	}
+}
+
+func TestRecursorSharesDelegationsAcrossOriginators(t *testing.T) {
+	h := startHierarchy(t)
+	r := newRecursor(h)
+	// Many originators in the same /16: the root and national servers
+	// hear about the first only — the attenuation of §IV-D, live.
+	for i := 0; i < 20; i++ {
+		orig := ipaddr.FromOctets(100, 50, byte(i), 7)
+		if _, _, err := r.ResolvePTR(orig, simtime.Time(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.count("root") != 1 {
+		t.Errorf("root saw %d queries for 20 same-/16 originators, want 1", h.count("root"))
+	}
+	if h.count("national") != 1 {
+		t.Errorf("national saw %d queries, want 1", h.count("national"))
+	}
+	if h.count("final") != 20 {
+		t.Errorf("final saw %d queries, want 20", h.count("final"))
+	}
+
+	// A different /16 in the same /8 re-asks the national server only.
+	if _, _, err := r.ResolvePTR(ipaddr.MustParse("100.60.1.1"), 100); err != nil {
+		t.Fatal(err)
+	}
+	if h.count("root") != 1 || h.count("national") != 2 {
+		t.Errorf("after new /16: root=%d national=%d, want 1/2", h.count("root"), h.count("national"))
+	}
+}
+
+func TestRecursorOutsideDelegation(t *testing.T) {
+	h := startHierarchy(t)
+	r := newRecursor(h)
+	// /8 200 is not delegated: the root answers NXDomain.
+	target, tr, err := r.ResolvePTR(ipaddr.MustParse("200.1.2.3"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if target != "" || !tr.Root || tr.National {
+		t.Errorf("undelegated resolve: target=%q trace=%+v", target, tr)
+	}
+	// The NXDomain is negative-cached.
+	_, tr, err = r.ResolvePTR(ipaddr.MustParse("200.1.2.3"), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Queries != 0 {
+		t.Errorf("negative cache miss: %+v", tr)
+	}
+}
+
+func TestRecursorNoRoots(t *testing.T) {
+	r := NewRecursor()
+	if _, _, err := r.ResolvePTR(ipaddr.MustParse("100.1.2.3"), 0); err == nil {
+		t.Error("rootless recursor resolved")
+	}
+}
+
+func TestConcurrentRecursors(t *testing.T) {
+	h := startHierarchy(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := newRecursor(h)
+			for k := 0; k < 4; k++ {
+				orig := ipaddr.FromOctets(101, byte(i), byte(k), 9)
+				if _, _, err := r.ResolvePTR(orig, simtime.Time(k)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if h.count("final") != 64 {
+		t.Errorf("final saw %d queries, want 64", h.count("final"))
+	}
+}

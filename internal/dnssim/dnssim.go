@@ -1,0 +1,332 @@
+// Package dnssim simulates the reverse-DNS resolution hierarchy that turns
+// network-wide activity into DNS backscatter (Figure 1 of the paper).
+//
+// When a querier performs a reverse lookup for an originator, its resolver
+// walks the in-addr.arpa delegation chain, asking only the authorities it
+// lacks cached delegations for. Sensors attached to authorities therefore
+// observe backscatter with level-dependent attenuation:
+//
+//   - the final authority (the originator's own /16 reverse zone) sees every
+//     lookup whose PTR answer is not cached at the resolver,
+//   - national registries (the /8 zone, e.g. JPNIC space) see lookups whose
+//     /16 delegation is cold,
+//   - the roots (which the paper treats together with the in-addr.arpa
+//     apex) see only lookups whose /8 delegation is cold — heavy
+//     attenuation, exactly the effect measured in §IV-D.
+//
+// Busy shared resolvers additionally keep the upper tree warm through
+// background reverse traffic the simulation does not enumerate; that
+// warming is modeled as a deterministic per-(resolver, zone, TTL-epoch)
+// draw weighted by the resolver's busyness.
+package dnssim
+
+import (
+	"dnsbackscatter/internal/cache"
+	"dnsbackscatter/internal/dnslog"
+	"dnsbackscatter/internal/dnswire"
+	"dnsbackscatter/internal/geo"
+	"dnsbackscatter/internal/ipaddr"
+	"dnsbackscatter/internal/rng"
+	"dnsbackscatter/internal/simtime"
+)
+
+// Config sets the hierarchy's caching behavior.
+type Config struct {
+	// NationalNSTTL is how long resolvers cache a /8 zone delegation.
+	// It governs attenuation at the roots.
+	NationalNSTTL simtime.Duration
+	// FinalNSTTL is how long resolvers cache a /16 zone delegation.
+	// It governs attenuation at national authorities.
+	FinalNSTTL simtime.Duration
+	// ServFailTTL is how long a resolver remembers that a final
+	// authority is unreachable before retrying.
+	ServFailTTL simtime.Duration
+	// ResolverCacheMax bounds each resolver's cache entries.
+	ResolverCacheMax int
+}
+
+// DefaultConfig mirrors common operational TTLs: /8 delegations about two
+// days, /16 delegations six hours, servfail retry after five minutes.
+func DefaultConfig() Config {
+	return Config{
+		NationalNSTTL:    2 * simtime.Day,
+		FinalNSTTL:       6 * simtime.Hour,
+		ServFailTTL:      5 * simtime.Minute,
+		ResolverCacheMax: 4096,
+	}
+}
+
+// OriginatorProfile describes the reverse-DNS posture of one originator,
+// fixed by whoever runs its final authority.
+type OriginatorProfile struct {
+	HasName bool             // a PTR record exists
+	Name    string           // the PTR target when HasName
+	TTL     simtime.Duration // PTR TTL; 0 disables caching (controlled scans)
+	NegTTL  simtime.Duration // negative-cache TTL when !HasName
+	// FinalUnreachable marks originators whose final authority never
+	// answers (the "F" rows of Tables VII/VIII).
+	FinalUnreachable bool
+}
+
+// ProfileFunc supplies the profile for an originator address.
+type ProfileFunc func(ipaddr.Addr) OriginatorProfile
+
+// DefaultProfile derives a deterministic, plausible profile from the
+// address alone: ~80% of originators have reverse names, TTLs drawn from
+// common operational values, and a few percent sit behind dead servers.
+func DefaultProfile(a ipaddr.Addr) OriginatorProfile {
+	h := hash64(uint64(a), 0x9d5f)
+	var p OriginatorProfile
+	switch {
+	case h%100 < 78:
+		p.HasName = true
+		p.Name = "host-" + a.String() + ".example.net"
+	case h%100 < 94:
+		p.HasName = false
+	default:
+		p.FinalUnreachable = true
+	}
+	ttls := []simtime.Duration{10 * simtime.Minute, simtime.Hour, 8 * simtime.Hour, simtime.Day}
+	p.TTL = ttls[(h>>8)%4]
+	p.NegTTL = ttls[(h>>16)%4] / 2
+	return p
+}
+
+// Sensor collects records at one authority, optionally sampling. A sample
+// rate of n keeps one of every n queries deterministically (M-sampled is
+// 1:10, §III-G).
+type Sensor struct {
+	Name   string
+	Sample int
+	// End, when nonzero, is the collection horizon: queries at or after
+	// it are not recorded (the capture stopped).
+	End simtime.Time
+
+	n       uint64
+	Records []dnslog.Record
+}
+
+// NewSensor returns an in-memory sensor. sample < 1 is treated as 1.
+func NewSensor(name string, sample int) *Sensor {
+	if sample < 1 {
+		sample = 1
+	}
+	return &Sensor{Name: name, Sample: sample}
+}
+
+// Observe records one query, subject to sampling and the collection
+// horizon.
+func (s *Sensor) Observe(now simtime.Time, orig, querier ipaddr.Addr, rcode uint8) {
+	if s.End != 0 && !now.Before(s.End) {
+		return
+	}
+	s.n++
+	if s.Sample > 1 && s.n%uint64(s.Sample) != 0 {
+		return
+	}
+	s.Records = append(s.Records, dnslog.Record{
+		Time:       now,
+		Originator: orig,
+		Querier:    querier,
+		Authority:  s.Name,
+		RCode:      rcode,
+	})
+}
+
+// Seen returns the total number of queries arriving at the sensor before
+// sampling.
+func (s *Sensor) Seen() uint64 { return s.n }
+
+// Reset drops collected records but keeps counters, so long simulations can
+// drain sensors interval by interval.
+func (s *Sensor) Reset() { s.Records = s.Records[:0] }
+
+// Resolver is one querier's recursive resolution state.
+type Resolver struct {
+	Addr ipaddr.Addr
+	// Busyness in [0, 1] is the chance per TTL epoch that background
+	// traffic already warmed an upper-tree delegation.
+	Busyness float64
+	// PreferM is the probability a root-level query lands on M-Root
+	// rather than B-Root (anycast proximity; M is Asia-heavy).
+	PreferM float64
+	// MaxPTRTTL, when positive, caps how long this resolver honors any
+	// cached answer — PTR records and delegations alike — modeling the
+	// cache-poor middleboxes that "do not follow DNS timeout rules"
+	// (§III-C), whose re-queries the 30 s dedup window exists for and
+	// which push per-querier query counts well above 1 at every level of
+	// the hierarchy.
+	MaxPTRTTL simtime.Duration
+	// RetransmitProb is the chance a lookup's queries are sent twice a
+	// few seconds apart (timeout retransmits) — the sub-30 s duplicates
+	// the paper's dedup window removes.
+	RetransmitProb float64
+	// QNameMin marks resolvers performing QNAME minimization (RFC 7816,
+	// flagged by the paper's §VII as a constraint on backscatter): upper
+	// levels of the hierarchy receive only the zone labels they are
+	// authoritative for, so root and national sensors cannot attribute
+	// the lookup to an originator. Only the final authority still sees
+	// the full reverse name.
+	QNameMin bool
+
+	cache *cache.Cache
+	st    *rng.Stream
+}
+
+// NewResolver returns a resolver with its own cache and random stream.
+func NewResolver(addr ipaddr.Addr, busyness, preferM float64, cacheMax int, st *rng.Stream) *Resolver {
+	return &Resolver{Addr: addr, Busyness: busyness, PreferM: preferM,
+		cache: cache.New(cacheMax), st: st}
+}
+
+// Hierarchy is the simulated reverse-DNS tree with attached sensors.
+type Hierarchy struct {
+	Geo     *geo.Registry
+	Cfg     Config
+	Profile ProfileFunc
+
+	rootB    *Sensor
+	rootM    *Sensor
+	national map[string]*Sensor // country code -> sensor
+	finals   map[uint16]*Sensor // /16 -> sensor (instrumented final zones)
+}
+
+// NewHierarchy builds a hierarchy over the geo registry. profile may be nil
+// to use DefaultProfile.
+func NewHierarchy(g *geo.Registry, cfg Config, profile ProfileFunc) *Hierarchy {
+	if profile == nil {
+		profile = DefaultProfile
+	}
+	return &Hierarchy{
+		Geo:      g,
+		Cfg:      cfg,
+		Profile:  profile,
+		national: make(map[string]*Sensor),
+		finals:   make(map[uint16]*Sensor),
+	}
+}
+
+// AttachRoots installs the two root sensors. Either may be nil.
+func (h *Hierarchy) AttachRoots(b, m *Sensor) {
+	h.rootB, h.rootM = b, m
+}
+
+// AttachNational installs a sensor for one country's /8 registry zones.
+func (h *Hierarchy) AttachNational(country string, s *Sensor) {
+	h.national[country] = s
+}
+
+// AttachFinal instruments the final authority for one /16 reverse zone.
+func (h *Hierarchy) AttachFinal(slash16 uint16, s *Sensor) {
+	h.finals[slash16] = s
+}
+
+// Zone cache-key helpers: tag in the high bits, zone identity below. Keys
+// live in each resolver's private cache.
+func ptrKey(o ipaddr.Addr) uint64 { return 1<<40 | uint64(o) }
+func z8Key(o ipaddr.Addr) uint64  { return 2<<40 | uint64(o.Slash8()) }
+func z16Key(o ipaddr.Addr) uint64 { return 3<<40 | uint64(o.Slash16()) }
+
+// hash64 mixes two values splitmix-style for deterministic side draws.
+func hash64(a, b uint64) uint64 {
+	z := a*0x9e3779b97f4a7c15 + b
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// bgWarm reports whether background traffic has this zone's delegation warm
+// at the resolver for the TTL epoch containing now. The draw is a pure
+// function of (resolver, zone, epoch), so replaying a simulation gives
+// identical attenuation.
+func bgWarm(r *Resolver, zoneKey uint64, ttl simtime.Duration, now simtime.Time) bool {
+	if r.Busyness <= 0 || ttl <= 0 {
+		return false
+	}
+	epoch := uint64(now) / uint64(ttl)
+	draw := hash64(uint64(r.Addr)^hash64(zoneKey, 0x517c), epoch)
+	return float64(draw>>11)/(1<<53) < r.Busyness
+}
+
+// Resolve performs one reverse lookup of orig by r at time now, emitting a
+// record at each authority the query reaches. It returns the number of
+// authority queries sent (0 when the answer was fully cached).
+func (h *Hierarchy) Resolve(r *Resolver, orig ipaddr.Addr, now simtime.Time) int {
+	if _, ok := r.cache.Get(ptrKey(orig), now); ok {
+		return 0
+	}
+
+	// A retransmitting stub re-sends this lookup's queries ~3 s later,
+	// before any answer has been cached.
+	dup := r.RetransmitProb > 0 && r.st.Bool(r.RetransmitProb)
+	observe := func(s *Sensor, rcode uint8) {
+		s.Observe(now, orig, r.Addr, rcode)
+		if dup {
+			s.Observe(now.Add(3), orig, r.Addr, rcode)
+		}
+	}
+
+	queries := 0
+	// Find the most specific cached (or background-warmed) delegation.
+	_, have16 := r.cache.Get(z16Key(orig), now)
+	_, have8 := r.cache.Get(z8Key(orig), now)
+	if !have8 && bgWarm(r, z8Key(orig), h.Cfg.NationalNSTTL, now) {
+		have8 = true
+	}
+
+	country := h.Geo.Country(orig)
+	if !have8 && !have16 {
+		// Root-level query: the resolver learns the /8 delegation. A
+		// minimizing resolver asks only for "1.in-addr.arpa", which the
+		// sensor cannot attribute to any originator.
+		root := h.rootB
+		if r.st.Bool(r.PreferM) {
+			root = h.rootM
+		}
+		if root != nil && !r.QNameMin {
+			observe(root, dnswire.RCodeNoError)
+		}
+		queries++
+		r.cache.Put(z8Key(orig), country, r.capTTL(h.Cfg.NationalNSTTL), now)
+		have8 = true
+	}
+	if !have16 {
+		// National registry query: learn the /16 delegation. Minimizing
+		// resolvers reveal only the /16 here — not attributable.
+		if s := h.national[country]; s != nil && !r.QNameMin {
+			observe(s, dnswire.RCodeNoError)
+		}
+		queries++
+		r.cache.Put(z16Key(orig), "final", r.capTTL(h.Cfg.FinalNSTTL), now)
+	}
+
+	// Final authority query for the PTR record itself.
+	p := h.Profile(orig)
+	queries++
+	if p.FinalUnreachable {
+		// Timeout: nothing to record at the dead final; remember the
+		// failure briefly so retries are rate-limited.
+		r.cache.PutNegative(ptrKey(orig), h.Cfg.ServFailTTL, now)
+		return queries
+	}
+	rcode := dnswire.RCodeNoError
+	if !p.HasName {
+		rcode = dnswire.RCodeNXDomain
+	}
+	if s := h.finals[orig.Slash16()]; s != nil {
+		observe(s, rcode)
+	}
+	if p.HasName {
+		r.cache.Put(ptrKey(orig), p.Name, r.capTTL(p.TTL), now)
+	} else {
+		r.cache.PutNegative(ptrKey(orig), r.capTTL(p.NegTTL), now)
+	}
+	return queries
+}
+
+func (r *Resolver) capTTL(ttl simtime.Duration) simtime.Duration {
+	if r.MaxPTRTTL > 0 && ttl > r.MaxPTRTTL {
+		return r.MaxPTRTTL
+	}
+	return ttl
+}

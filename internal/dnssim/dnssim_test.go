@@ -1,0 +1,285 @@
+package dnssim
+
+import (
+	"testing"
+
+	"dnsbackscatter/internal/dnswire"
+	"dnsbackscatter/internal/geo"
+	"dnsbackscatter/internal/ipaddr"
+	"dnsbackscatter/internal/rng"
+	"dnsbackscatter/internal/simtime"
+)
+
+func testHierarchy(profile ProfileFunc) (*Hierarchy, *Sensor, *Sensor, map[string]*Sensor, *Sensor, ipaddr.Addr) {
+	g := geo.NewRegistry(42)
+	h := NewHierarchy(g, DefaultConfig(), profile)
+	b := NewSensor("b-root", 1)
+	m := NewSensor("m-root", 1)
+	h.AttachRoots(b, m)
+	nats := make(map[string]*Sensor)
+	for _, c := range geo.Countries {
+		s := NewSensor(c.Code, 1)
+		nats[c.Code] = s
+		h.AttachNational(c.Code, s)
+	}
+	orig := ipaddr.MustParse("100.50.3.4")
+	final := NewSensor("final", 1)
+	h.AttachFinal(orig.Slash16(), final)
+	return h, b, m, nats, final, orig
+}
+
+func newResolver(busy, preferM float64) *Resolver {
+	return NewResolver(ipaddr.MustParse("10.0.0.53"), busy, preferM, 1024, rng.New(7))
+}
+
+func cachedProfile(a ipaddr.Addr) OriginatorProfile {
+	return OriginatorProfile{HasName: true, Name: "x.example.net", TTL: simtime.Hour, NegTTL: simtime.Hour}
+}
+
+func TestColdResolverHitsAllLevels(t *testing.T) {
+	h, b, m, nats, final, orig := testHierarchy(cachedProfile)
+	r := newResolver(0, 0) // never prefers M, no background warmth
+	n := h.Resolve(r, orig, 1000)
+	if n != 3 {
+		t.Errorf("cold resolve sent %d queries, want 3 (root, national, final)", n)
+	}
+	if b.Seen() != 1 || m.Seen() != 0 {
+		t.Errorf("root hits: b=%d m=%d, want 1/0", b.Seen(), m.Seen())
+	}
+	country := h.Geo.Country(orig)
+	if nats[country].Seen() != 1 {
+		t.Errorf("national sensor saw %d", nats[country].Seen())
+	}
+	if final.Seen() != 1 {
+		t.Errorf("final sensor saw %d", final.Seen())
+	}
+	rec := final.Records[0]
+	if rec.Originator != orig || rec.Querier != r.Addr || rec.RCode != dnswire.RCodeNoError {
+		t.Errorf("record = %+v", rec)
+	}
+}
+
+func TestPTRCachingSuppressesRepeat(t *testing.T) {
+	h, _, _, _, final, orig := testHierarchy(cachedProfile)
+	r := newResolver(0, 0)
+	h.Resolve(r, orig, 1000)
+	if n := h.Resolve(r, orig, 1010); n != 0 {
+		t.Errorf("repeat within PTR TTL sent %d queries, want 0", n)
+	}
+	// After the PTR TTL (1 h) the final authority is queried again, but
+	// the delegations are still warm so root/national stay quiet.
+	if n := h.Resolve(r, orig, 1000+simtime.Time(simtime.Hour)); n != 1 {
+		t.Errorf("post-TTL resolve sent %d queries, want 1 (final only)", n)
+	}
+	if final.Seen() != 2 {
+		t.Errorf("final saw %d queries, want 2", final.Seen())
+	}
+}
+
+func TestDelegationExpiryClimbsTree(t *testing.T) {
+	h, b, _, nats, _, orig := testHierarchy(
+		func(ipaddr.Addr) OriginatorProfile {
+			// Zero TTL: the PTR is never cached, isolating delegation caching.
+			return OriginatorProfile{HasName: true, Name: "x", TTL: 0, NegTTL: 0}
+		})
+	r := newResolver(0, 0)
+	country := h.Geo.Country(orig)
+
+	h.Resolve(r, orig, 0)
+	// Within FinalNSTTL: only the final authority is queried.
+	h.Resolve(r, orig, simtime.Time(simtime.Hour))
+	if nats[country].Seen() != 1 {
+		t.Errorf("national saw %d, want 1 (delegation cached)", nats[country].Seen())
+	}
+	// After FinalNSTTL but within NationalNSTTL: national queried, root not.
+	h.Resolve(r, orig, simtime.Time(7*simtime.Hour))
+	if nats[country].Seen() != 2 || b.Seen() != 1 {
+		t.Errorf("nat=%d root=%d, want 2/1", nats[country].Seen(), b.Seen())
+	}
+	// After NationalNSTTL: back to the root.
+	h.Resolve(r, orig, simtime.Time(3*simtime.Day))
+	if b.Seen() != 2 {
+		t.Errorf("root saw %d, want 2", b.Seen())
+	}
+}
+
+func TestNXDomainNegativeCaching(t *testing.T) {
+	h, _, _, _, final, orig := testHierarchy(
+		func(ipaddr.Addr) OriginatorProfile {
+			return OriginatorProfile{HasName: false, NegTTL: 10 * simtime.Minute}
+		})
+	r := newResolver(0, 0)
+	h.Resolve(r, orig, 0)
+	if final.Records[0].RCode != dnswire.RCodeNXDomain {
+		t.Errorf("rcode = %d, want NXDomain", final.Records[0].RCode)
+	}
+	if n := h.Resolve(r, orig, 60); n != 0 {
+		t.Error("negative cache did not suppress repeat")
+	}
+	if n := h.Resolve(r, orig, simtime.Time(11*simtime.Minute)); n != 1 {
+		t.Errorf("post-negative-TTL resolve sent %d, want 1", n)
+	}
+}
+
+func TestUnreachableFinal(t *testing.T) {
+	h, b, _, nats, final, orig := testHierarchy(
+		func(ipaddr.Addr) OriginatorProfile {
+			return OriginatorProfile{FinalUnreachable: true}
+		})
+	r := newResolver(0, 0)
+	h.Resolve(r, orig, 0)
+	if final.Seen() != 0 {
+		t.Error("dead final authority recorded a query")
+	}
+	country := h.Geo.Country(orig)
+	if b.Seen() != 1 || nats[country].Seen() != 1 {
+		t.Error("upper levels should still see the lookup")
+	}
+	// Servfail is remembered briefly.
+	if n := h.Resolve(r, orig, 60); n != 0 {
+		t.Errorf("retry within ServFailTTL sent %d queries", n)
+	}
+	if n := h.Resolve(r, orig, simtime.Time(6*simtime.Minute)); n == 0 {
+		t.Error("resolver never retried after ServFailTTL")
+	}
+}
+
+func TestRootPreference(t *testing.T) {
+	h, b, m, _, _, _ := testHierarchy(cachedProfile)
+	r := NewResolver(ipaddr.MustParse("10.0.0.53"), 0, 0.9, 1024, rng.New(7))
+	// Distinct originators in distinct /8s keep the /8 delegation cold.
+	for i := 0; i < 200; i++ {
+		orig := ipaddr.FromOctets(byte(i), 1, 2, 3)
+		h.Resolve(r, orig, simtime.Time(i)*simtime.Time(simtime.Day))
+	}
+	total := b.Seen() + m.Seen()
+	if total == 0 {
+		t.Fatal("no root queries at all")
+	}
+	frac := float64(m.Seen()) / float64(total)
+	if frac < 0.75 {
+		t.Errorf("M-Root fraction = %.2f, want ≈0.9", frac)
+	}
+}
+
+func TestBusynessWarmsUpperTree(t *testing.T) {
+	profile := func(ipaddr.Addr) OriginatorProfile {
+		return OriginatorProfile{HasName: true, Name: "x", TTL: 0}
+	}
+	countRootQueries := func(busy float64) uint64 {
+		h, b, m, _, _, _ := testHierarchy(profile)
+		st := rng.New(11)
+		// Many distinct resolvers each do one cold lookup of one
+		// originator; busy resolvers should skip the root.
+		for i := 0; i < 2000; i++ {
+			r := NewResolver(ipaddr.Addr(st.Uint64()), busy, 0.5, 64, rng.New(uint64(i)))
+			orig := ipaddr.Addr(st.Uint64())
+			h.Resolve(r, orig, simtime.Time(i))
+			_ = m
+		}
+		return b.Seen() + m.Seen()
+	}
+	quiet := countRootQueries(0)
+	busy := countRootQueries(0.9)
+	if quiet != 2000 {
+		t.Errorf("quiet resolvers: root saw %d, want 2000", quiet)
+	}
+	if busy > quiet/2 {
+		t.Errorf("busy resolvers: root saw %d, want heavy suppression vs %d", busy, quiet)
+	}
+}
+
+func TestSensorSampling(t *testing.T) {
+	s := NewSensor("m-sampled", 10)
+	for i := 0; i < 1000; i++ {
+		s.Observe(simtime.Time(i), 1, 2, 0)
+	}
+	if s.Seen() != 1000 {
+		t.Errorf("Seen = %d", s.Seen())
+	}
+	if len(s.Records) != 100 {
+		t.Errorf("sampled records = %d, want 100", len(s.Records))
+	}
+}
+
+func TestSensorSamplingDeterministic(t *testing.T) {
+	a := NewSensor("x", 7)
+	b := NewSensor("x", 7)
+	for i := 0; i < 100; i++ {
+		a.Observe(simtime.Time(i), ipaddr.Addr(i), 2, 0)
+		b.Observe(simtime.Time(i), ipaddr.Addr(i), 2, 0)
+	}
+	if len(a.Records) != len(b.Records) {
+		t.Fatal("sampling diverged")
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatal("sampled different records")
+		}
+	}
+}
+
+func TestSensorReset(t *testing.T) {
+	s := NewSensor("x", 1)
+	s.Observe(0, 1, 2, 0)
+	s.Reset()
+	if len(s.Records) != 0 || s.Seen() != 1 {
+		t.Error("Reset must clear records but keep counters")
+	}
+}
+
+func TestDefaultProfileDeterministic(t *testing.T) {
+	a := ipaddr.MustParse("198.51.100.7")
+	p1, p2 := DefaultProfile(a), DefaultProfile(a)
+	if p1 != p2 {
+		t.Error("DefaultProfile not deterministic")
+	}
+}
+
+func TestDefaultProfileMix(t *testing.T) {
+	var named, nameless, unreach int
+	for i := 0; i < 10000; i++ {
+		p := DefaultProfile(ipaddr.Addr(uint32(i) * 2654435761))
+		switch {
+		case p.FinalUnreachable:
+			unreach++
+		case p.HasName:
+			named++
+		default:
+			nameless++
+		}
+	}
+	if named < 7000 || named > 8500 {
+		t.Errorf("named = %d, want ≈78%%", named)
+	}
+	if nameless < 1000 || nameless > 2500 {
+		t.Errorf("nameless = %d, want ≈16%%", nameless)
+	}
+	if unreach < 300 || unreach > 1200 {
+		t.Errorf("unreachable = %d, want ≈6%%", unreach)
+	}
+}
+
+func BenchmarkResolveCold(b *testing.B) {
+	g := geo.NewRegistry(42)
+	h := NewHierarchy(g, DefaultConfig(), cachedProfile)
+	h.AttachRoots(NewSensor("b-root", 1), NewSensor("m-root", 1))
+	r := newResolver(0, 0.5)
+	st := rng.New(3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Resolve(r, ipaddr.Addr(st.Uint64()), simtime.Time(i))
+	}
+}
+
+func BenchmarkResolveCached(b *testing.B) {
+	g := geo.NewRegistry(42)
+	h := NewHierarchy(g, DefaultConfig(), cachedProfile)
+	r := newResolver(0, 0.5)
+	orig := ipaddr.MustParse("100.50.3.4")
+	h.Resolve(r, orig, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Resolve(r, orig, 1)
+	}
+}

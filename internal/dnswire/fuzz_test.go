@@ -1,0 +1,63 @@
+package dnswire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode drives the wire decoder with arbitrary bytes: it must never
+// panic, and anything it accepts must re-encode to a decodable message
+// with the same header and question section.
+func FuzzDecode(f *testing.F) {
+	seed := func(m *Message) {
+		wire, err := m.Encode(nil)
+		if err == nil {
+			f.Add(wire)
+		}
+	}
+	seed(NewPTRQuery(1, "4.3.2.1.in-addr.arpa"))
+	r := NewResponse(NewPTRQuery(2, "1.0.113.0.203.in-addr.arpa"), RCodeNoError)
+	r.AddAnswer(RR{Name: "1.0.113.0.203.in-addr.arpa", Type: TypePTR, Class: ClassIN, TTL: 300, Target: "mail.example.jp"})
+	seed(r)
+	seed(NewResponse(NewPTRQuery(3, "9.9.9.9.in-addr.arpa"), RCodeNXDomain))
+	f.Add([]byte{})
+	f.Add([]byte{0xc0, 0x0c})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m Message
+		if err := DecodeInto(data, &m); err != nil {
+			return
+		}
+		// Accepted input: the decoded form must survive a round trip.
+		wire, err := m.Encode(nil)
+		if err != nil {
+			t.Fatalf("decoded message failed to re-encode: %v", err)
+		}
+		var m2 Message
+		if err := DecodeInto(wire, &m2); err != nil {
+			t.Fatalf("re-encoded message failed to decode: %v", err)
+		}
+		if m.Header != m2.Header && !countsOnlyDiffer(m.Header, m2.Header) {
+			t.Fatalf("header changed: %+v vs %+v", m.Header, m2.Header)
+		}
+		if len(m.Questions) != len(m2.Questions) {
+			t.Fatalf("question count changed")
+		}
+		for i := range m.Questions {
+			if m.Questions[i] != m2.Questions[i] {
+				t.Fatalf("question %d changed: %+v vs %+v", i, m.Questions[i], m2.Questions[i])
+			}
+		}
+	})
+}
+
+// countsOnlyDiffer allows header count fields to change: Encode recomputes
+// them from section lengths, which is the defined behavior.
+func countsOnlyDiffer(a, b Header) bool {
+	a.QDCount, b.QDCount = 0, 0
+	a.ANCount, b.ANCount = 0, 0
+	a.NSCount, b.NSCount = 0, 0
+	a.ARCount, b.ARCount = 0, 0
+	return a == b
+}

@@ -1,0 +1,267 @@
+// Package features turns per-originator backscatter into the feature
+// vectors of §III-C.
+//
+// Static features are the fractions of an originator's queriers whose
+// reverse names fall into each naming category (home, mail, ns, ...,
+// nxdomain, unreach): fractions rather than counts, so the features are
+// independent of query rate. Dynamic features capture temporal and spatial
+// structure: queries per querier, persistence across 10-minute periods,
+// Shannon entropy of querier /24 and /8 prefixes, and AS/country
+// dispersion normalized by what the whole interval saw.
+package features
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dnsbackscatter/internal/dnslog"
+	"dnsbackscatter/internal/geo"
+	"dnsbackscatter/internal/ipaddr"
+	"dnsbackscatter/internal/qname"
+	"dnsbackscatter/internal/simtime"
+)
+
+// NumStatic is the count of static (name-category) features.
+const NumStatic = int(qname.NumCategories)
+
+// Dynamic feature indices within the dynamic block.
+const (
+	DynQueriesPerQuerier = iota
+	DynPersistence
+	DynLocalEntropy
+	DynGlobalEntropy
+	DynUniqueASes
+	DynUniqueCountries
+	DynQueriersPerCountry
+	DynQueriersPerAS
+	NumDynamic
+)
+
+// NumFeatures is the full vector width.
+const NumFeatures = NumStatic + NumDynamic
+
+var dynamicNames = [NumDynamic]string{
+	"queries-per-querier", "persistence", "local-entropy", "global-entropy",
+	"unique-ases", "unique-countries", "queriers-per-country", "queriers-per-as",
+}
+
+// Names returns the feature names in vector order. Static features carry
+// their category name; dynamic features their §III-C label.
+func Names() []string {
+	out := make([]string, 0, NumFeatures)
+	for c := qname.Category(0); c < qname.NumCategories; c++ {
+		out = append(out, c.String())
+	}
+	out = append(out, dynamicNames[:]...)
+	return out
+}
+
+// IsStatic reports whether feature index i is a static (name) feature.
+func IsStatic(i int) bool { return i < NumStatic }
+
+// Vector is one originator's features over one observation interval.
+type Vector struct {
+	Originator ipaddr.Addr
+	Queriers   int // unique queriers (the footprint estimate)
+	Queries    int // deduplicated query count
+	X          [NumFeatures]float64
+}
+
+// Static returns the fraction for a name category.
+func (v *Vector) Static(c qname.Category) float64 { return v.X[int(c)] }
+
+// Dynamic returns a dynamic feature by its Dyn index.
+func (v *Vector) Dynamic(i int) float64 { return v.X[NumStatic+i] }
+
+// String formats the vector compactly for reports.
+func (v *Vector) String() string {
+	return fmt.Sprintf("%s queriers=%d queries=%d mail=%.2f home=%.2f ns=%.2f gent=%.2f",
+		v.Originator, v.Queriers, v.Queries,
+		v.Static(qname.Mail), v.Static(qname.Home), v.Static(qname.NS),
+		v.Dynamic(DynGlobalEntropy))
+}
+
+// NameFunc resolves a querier address to its reverse name and whether its
+// reverse zone authority is unreachable.
+type NameFunc func(ipaddr.Addr) (name string, unreach bool)
+
+// Extractor computes feature vectors from interval logs.
+type Extractor struct {
+	Geo    *geo.Registry
+	NameOf NameFunc
+	// MinQueriers is the analyzability threshold (§III-B; the paper uses
+	// 20 unique queriers). Originators below it are dropped.
+	MinQueriers int
+	// DedupWindow suppresses repeat queries per (originator, querier)
+	// pair before rate features; the paper uses 30 s.
+	DedupWindow simtime.Duration
+}
+
+// NewExtractor returns an extractor with the paper's defaults.
+func NewExtractor(g *geo.Registry, nameOf NameFunc) *Extractor {
+	return &Extractor{Geo: g, NameOf: nameOf, MinQueriers: 20, DedupWindow: 30 * simtime.Second}
+}
+
+// originatorAgg accumulates one originator's interval state.
+type originatorAgg struct {
+	queries  int
+	queriers map[ipaddr.Addr]struct{}
+	buckets  map[int]struct{}
+}
+
+// Extract computes vectors for every analyzable originator in recs, which
+// must be time-ordered per (originator, querier) pair (sensor output is).
+// The interval spans [start, start+dur) for persistence normalization.
+func (x *Extractor) Extract(recs []dnslog.Record, start simtime.Time, dur simtime.Duration) []*Vector {
+	dedup := dnslog.NewDeduper(x.DedupWindow)
+	aggs := make(map[ipaddr.Addr]*originatorAgg)
+	for _, r := range recs {
+		if !dedup.Keep(r) {
+			continue
+		}
+		a := aggs[r.Originator]
+		if a == nil {
+			a = &originatorAgg{
+				queriers: make(map[ipaddr.Addr]struct{}),
+				buckets:  make(map[int]struct{}),
+			}
+			aggs[r.Originator] = a
+		}
+		a.queries++
+		a.queriers[r.Querier] = struct{}{}
+		a.buckets[r.Time.TenMinuteBucket()] = struct{}{}
+	}
+
+	// Interval-level normalizers: every AS and country observed across
+	// all queriers this interval.
+	allAS := make(map[int]struct{})
+	allCountry := make(map[string]struct{})
+	allQueriers := make(map[ipaddr.Addr]struct{})
+	for _, a := range aggs {
+		for q := range a.queriers {
+			if _, seen := allQueriers[q]; seen {
+				continue
+			}
+			allQueriers[q] = struct{}{}
+			allAS[x.Geo.ASN(q)] = struct{}{}
+			allCountry[x.Geo.Country(q)] = struct{}{}
+		}
+	}
+	totalBuckets := int(dur / (10 * simtime.Minute))
+	if totalBuckets < 1 {
+		totalBuckets = 1
+	}
+
+	var out []*Vector
+	for orig, a := range aggs {
+		if len(a.queriers) < x.MinQueriers {
+			continue
+		}
+		out = append(out, x.vector(orig, a, len(allAS), len(allCountry), len(allQueriers), totalBuckets))
+	}
+	// Deterministic order: by footprint descending, address ascending.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Queriers != out[j].Queriers {
+			return out[i].Queriers > out[j].Queriers
+		}
+		return out[i].Originator < out[j].Originator
+	})
+	return out
+}
+
+func (x *Extractor) vector(orig ipaddr.Addr, a *originatorAgg, totalAS, totalCountry, totalQueriers, totalBuckets int) *Vector {
+	v := &Vector{Originator: orig, Queriers: len(a.queriers), Queries: a.queries}
+
+	counts24 := make(map[uint32]int)
+	counts8 := make(map[byte]int)
+	ases := make(map[int]struct{})
+	countries := make(map[string]struct{})
+	for q := range a.queriers {
+		name, unreach := x.NameOf(q)
+		cat := qname.Classify(name)
+		if unreach {
+			cat = qname.Unreach
+		}
+		v.X[int(cat)]++
+		counts24[q.Slash24()]++
+		counts8[q.Slash8()]++
+		ases[x.Geo.ASN(q)] = struct{}{}
+		countries[x.Geo.Country(q)] = struct{}{}
+	}
+	n := float64(len(a.queriers))
+	for i := 0; i < NumStatic; i++ {
+		v.X[i] /= n
+	}
+
+	d := v.X[NumStatic:]
+	d[DynQueriesPerQuerier] = float64(a.queries) / n
+	d[DynPersistence] = float64(len(a.buckets)) / float64(totalBuckets)
+	d[DynLocalEntropy] = normEntropy24(counts24, len(a.queriers))
+	d[DynGlobalEntropy] = normEntropy8(counts8, len(a.queriers))
+	d[DynUniqueASes] = ratio(len(ases), totalAS)
+	d[DynUniqueCountries] = ratio(len(countries), totalCountry)
+	if len(countries) > 0 && totalQueriers > 0 {
+		d[DynQueriersPerCountry] = n / float64(len(countries)) / float64(totalQueriers)
+	}
+	if len(ases) > 0 && totalQueriers > 0 {
+		d[DynQueriersPerAS] = n / float64(len(ases)) / float64(totalQueriers)
+	}
+	return v
+}
+
+func ratio(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// normEntropy24 is the Shannon entropy of querier /24 prefixes, normalized
+// to [0, 1] by the maximum achievable for n queriers.
+func normEntropy24(counts map[uint32]int, n int) float64 {
+	cs := make([]int, 0, len(counts))
+	for _, c := range counts {
+		cs = append(cs, c)
+	}
+	return normEntropy(cs, n, 1<<24)
+}
+
+func normEntropy8(counts map[byte]int, n int) float64 {
+	cs := make([]int, 0, len(counts))
+	for _, c := range counts {
+		cs = append(cs, c)
+	}
+	return normEntropy(cs, n, 256)
+}
+
+// normEntropy computes Shannon entropy over counts (which sum to n) and
+// normalizes by log2(min(n, space)) — the entropy of n queriers spread as
+// evenly as the prefix space allows.
+func normEntropy(counts []int, n, space int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	h := 0.0
+	for _, c := range counts {
+		p := float64(c) / float64(n)
+		h -= p * math.Log2(p)
+	}
+	denom := math.Log2(math.Min(float64(n), float64(space)))
+	if denom <= 0 {
+		return 0
+	}
+	if v := h / denom; v < 1 {
+		return v
+	}
+	return 1
+}
+
+// TopN keeps the n originators with the most unique queriers (vectors are
+// already footprint-sorted).
+func TopN(vs []*Vector, n int) []*Vector {
+	if n >= len(vs) {
+		return vs
+	}
+	return vs[:n]
+}

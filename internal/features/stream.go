@@ -1,0 +1,275 @@
+package features
+
+import (
+	"container/heap"
+	"sort"
+
+	"dnsbackscatter/internal/dnslog"
+	"dnsbackscatter/internal/geo"
+	"dnsbackscatter/internal/hll"
+	"dnsbackscatter/internal/ipaddr"
+	"dnsbackscatter/internal/qname"
+	"dnsbackscatter/internal/simtime"
+)
+
+// StreamExtractor computes approximate feature vectors in bounded memory,
+// one record at a time — the shape a sensor needs at the paper's real
+// volumes (Table I: 10^9 queries), where a set per originator is not
+// affordable. Per originator it keeps:
+//
+//   - a HyperLogLog sketch of querier addresses (the footprint estimate),
+//   - a bottom-k sketch (KMV): the k queriers with the smallest hashes, a
+//     uniform sample of the *distinct* queriers, from which static name
+//     fractions, entropies, and AS/country dispersion are estimated,
+//   - an exact query counter and a 10-minute persistence bitset.
+//
+// Deduplication uses a fixed-size last-seen table keyed by pair hash;
+// collisions can suppress a stray extra query, a vanishing bias at sensor
+// scales. When the originator table exceeds MaxOriginators, originators
+// with the smallest footprints are evicted — they are the unanalyzable
+// tail the batch pipeline drops anyway.
+type StreamExtractor struct {
+	Geo    *geo.Registry
+	NameOf NameFunc
+	// MinQueriers is the analyzability threshold on the HLL estimate.
+	MinQueriers int
+	// DedupWindow matches the batch extractor's 30 s default.
+	DedupWindow simtime.Duration
+	// SampleK is the bottom-k size (default 256).
+	SampleK int
+	// MaxOriginators bounds tracked originators (default 1 << 16).
+	MaxOriginators int
+
+	aggs  map[ipaddr.Addr]*streamAgg
+	dedup []dedupSlot
+}
+
+type dedupSlot struct {
+	key  uint64
+	last simtime.Time
+}
+
+// dedupSlots is the fixed dedup table size (1M slots, 16 MiB).
+const dedupSlots = 1 << 20
+
+// NewStreamExtractor returns a streaming extractor with the paper's
+// thresholds.
+func NewStreamExtractor(g *geo.Registry, nameOf NameFunc) *StreamExtractor {
+	return &StreamExtractor{
+		Geo:            g,
+		NameOf:         nameOf,
+		MinQueriers:    20,
+		DedupWindow:    30 * simtime.Second,
+		SampleK:        256,
+		MaxOriginators: 1 << 16,
+		aggs:           make(map[ipaddr.Addr]*streamAgg),
+		dedup:          make([]dedupSlot, dedupSlots),
+	}
+}
+
+// streamAgg is one originator's bounded state.
+type streamAgg struct {
+	queriers *hll.Sketch
+	sample   kmv
+	queries  int
+	buckets  map[int]struct{}
+}
+
+// kmv keeps the k distinct queriers with the smallest hashes (a max-heap
+// on hash so the largest is evictable in O(log k)).
+type kmv struct {
+	k      int
+	hashes []uint64
+	addrs  map[uint64]ipaddr.Addr
+}
+
+func (s *kmv) Len() int           { return len(s.hashes) }
+func (s *kmv) Less(i, j int) bool { return s.hashes[i] > s.hashes[j] } // max-heap
+func (s *kmv) Swap(i, j int)      { s.hashes[i], s.hashes[j] = s.hashes[j], s.hashes[i] }
+func (s *kmv) Push(x any)         { s.hashes = append(s.hashes, x.(uint64)) }
+func (s *kmv) Pop() any {
+	old := s.hashes
+	n := len(old)
+	v := old[n-1]
+	s.hashes = old[:n-1]
+	return v
+}
+
+func (s *kmv) add(h uint64, a ipaddr.Addr) {
+	if _, dup := s.addrs[h]; dup {
+		return
+	}
+	if len(s.hashes) < s.k {
+		s.addrs[h] = a
+		heap.Push(s, h)
+		return
+	}
+	if h >= s.hashes[0] {
+		return // larger than the current k-th smallest
+	}
+	delete(s.addrs, s.hashes[0])
+	s.hashes[0] = h
+	s.addrs[h] = a
+	heap.Fix(s, 0)
+}
+
+// Observe feeds one record through dedup into the sketches.
+func (x *StreamExtractor) Observe(r dnslog.Record) {
+	if x.DedupWindow > 0 {
+		key := hll.Hash64(uint64(r.Originator)<<32 ^ uint64(r.Querier))
+		slot := &x.dedup[key&(dedupSlots-1)]
+		if slot.key == key && r.Time.Sub(slot.last) < x.DedupWindow {
+			return
+		}
+		slot.key = key
+		slot.last = r.Time
+	}
+
+	a := x.aggs[r.Originator]
+	if a == nil {
+		if len(x.aggs) >= x.max() {
+			x.evict()
+		}
+		a = &streamAgg{
+			queriers: hll.MustNew(11),
+			sample:   kmv{k: x.sampleK(), addrs: make(map[uint64]ipaddr.Addr)},
+			buckets:  make(map[int]struct{}),
+		}
+		x.aggs[r.Originator] = a
+	}
+	a.queries++
+	h := hll.Hash64(uint64(r.Querier))
+	a.queriers.Add(h)
+	a.sample.add(h, r.Querier)
+	a.buckets[r.Time.TenMinuteBucket()] = struct{}{}
+}
+
+func (x *StreamExtractor) max() int {
+	if x.MaxOriginators > 0 {
+		return x.MaxOriginators
+	}
+	return 1 << 16
+}
+
+func (x *StreamExtractor) sampleK() int {
+	if x.SampleK > 0 {
+		return x.SampleK
+	}
+	return 256
+}
+
+// evict drops the smallest-footprint half of tracked originators.
+func (x *StreamExtractor) evict() {
+	type entry struct {
+		a ipaddr.Addr
+		n uint64
+	}
+	all := make([]entry, 0, len(x.aggs))
+	for a, agg := range x.aggs {
+		all = append(all, entry{a, agg.queriers.Estimate()})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].n < all[j].n })
+	for _, e := range all[:len(all)/2] {
+		delete(x.aggs, e.a)
+	}
+}
+
+// Tracked reports how many originators currently hold state.
+func (x *StreamExtractor) Tracked() int { return len(x.aggs) }
+
+// Snapshot produces vectors for every originator whose estimated footprint
+// clears the threshold. Statics and spatial features come from the
+// bottom-k sample; Queriers carries the HLL estimate.
+func (x *StreamExtractor) Snapshot(start simtime.Time, dur simtime.Duration) []*Vector {
+	totalBuckets := int(dur / (10 * simtime.Minute))
+	if totalBuckets < 1 {
+		totalBuckets = 1
+	}
+
+	// Interval-level normalizers from the union of samples.
+	allAS := make(map[int]struct{})
+	allCountry := make(map[string]struct{})
+	allQueriers := make(map[ipaddr.Addr]struct{})
+	for _, a := range x.aggs {
+		for _, q := range a.sample.addrs {
+			if _, seen := allQueriers[q]; seen {
+				continue
+			}
+			allQueriers[q] = struct{}{}
+			allAS[x.Geo.ASN(q)] = struct{}{}
+			allCountry[x.Geo.Country(q)] = struct{}{}
+		}
+	}
+	// The samples undercount global uniques; scale the querier-total
+	// normalizer by the ratio of HLL mass to sampled mass.
+	var hllMass, sampleMass float64
+	for _, a := range x.aggs {
+		hllMass += float64(a.queriers.Estimate())
+		sampleMass += float64(len(a.sample.addrs))
+	}
+	totalQueriers := len(allQueriers)
+	if sampleMass > 0 {
+		totalQueriers = int(float64(totalQueriers) * hllMass / sampleMass)
+	}
+
+	var out []*Vector
+	for orig, a := range x.aggs {
+		est := int(a.queriers.Estimate())
+		if est < x.MinQueriers {
+			continue
+		}
+		v := &Vector{Originator: orig, Queriers: est, Queries: a.queries}
+
+		counts24 := make(map[uint32]int)
+		counts8 := make(map[byte]int)
+		ases := make(map[int]struct{})
+		countries := make(map[string]struct{})
+		n := 0
+		for _, q := range a.sample.addrs {
+			n++
+			name, unreach := x.NameOf(q)
+			cat := qname.Classify(name)
+			if unreach {
+				cat = qname.Unreach
+			}
+			v.X[int(cat)]++
+			counts24[q.Slash24()]++
+			counts8[q.Slash8()]++
+			ases[x.Geo.ASN(q)] = struct{}{}
+			countries[x.Geo.Country(q)] = struct{}{}
+		}
+		if n == 0 {
+			continue
+		}
+		for i := 0; i < NumStatic; i++ {
+			v.X[i] /= float64(n)
+		}
+		d := v.X[NumStatic:]
+		d[DynQueriesPerQuerier] = float64(a.queries) / float64(est)
+		d[DynPersistence] = float64(len(a.buckets)) / float64(totalBuckets)
+		d[DynLocalEntropy] = normEntropy24(counts24, n)
+		d[DynGlobalEntropy] = normEntropy8(counts8, n)
+		// Dispersion scales from the sample to the full footprint.
+		scale := float64(est) / float64(n)
+		d[DynUniqueASes] = ratio(int(float64(len(ases))*scale+0.5), len(allAS))
+		if d[DynUniqueASes] > 1 {
+			d[DynUniqueASes] = 1
+		}
+		d[DynUniqueCountries] = ratio(len(countries), len(allCountry))
+		if len(countries) > 0 && totalQueriers > 0 {
+			d[DynQueriersPerCountry] = float64(est) / float64(len(countries)) / float64(totalQueriers)
+		}
+		if len(ases) > 0 && totalQueriers > 0 {
+			est24 := float64(len(ases)) * scale
+			d[DynQueriersPerAS] = float64(est) / est24 / float64(totalQueriers)
+		}
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Queriers != out[j].Queriers {
+			return out[i].Queriers > out[j].Queriers
+		}
+		return out[i].Originator < out[j].Originator
+	})
+	return out
+}

@@ -1,0 +1,190 @@
+package features
+
+import (
+	"math"
+	"testing"
+
+	"dnsbackscatter/internal/dnslog"
+	"dnsbackscatter/internal/geo"
+	"dnsbackscatter/internal/ipaddr"
+	"dnsbackscatter/internal/rng"
+	"dnsbackscatter/internal/simtime"
+)
+
+func newTestStream() *StreamExtractor {
+	x := NewStreamExtractor(geo.NewRegistry(42), testNames)
+	x.MinQueriers = 10
+	return x
+}
+
+func feed(x *StreamExtractor, recs []dnslog.Record) {
+	for _, r := range recs {
+		x.Observe(r)
+	}
+}
+
+func TestStreamMatchesBatchFootprints(t *testing.T) {
+	recs := append(mkRecs("1.2.3.4", 500, 2), mkRecs("5.6.7.8", 80, 3)...)
+	batch := NewExtractor(geo.NewRegistry(42), testNames)
+	batch.MinQueriers = 10
+	bv := batch.Extract(recs, 0, simtime.Day)
+
+	x := newTestStream()
+	feed(x, recs)
+	sv := x.Snapshot(0, simtime.Day)
+
+	if len(bv) != len(sv) {
+		t.Fatalf("batch %d vs stream %d vectors", len(bv), len(sv))
+	}
+	for i := range bv {
+		if bv[i].Originator != sv[i].Originator {
+			t.Fatalf("vector %d: originator order differs", i)
+		}
+		rel := math.Abs(float64(sv[i].Queriers-bv[i].Queriers)) / float64(bv[i].Queriers)
+		if rel > 0.10 {
+			t.Errorf("originator %v: footprint %d vs exact %d (%.1f%% off)",
+				bv[i].Originator, sv[i].Queriers, bv[i].Queriers, 100*rel)
+		}
+		if sv[i].Queries != bv[i].Queries {
+			t.Errorf("query counts differ: %d vs %d", sv[i].Queries, bv[i].Queries)
+		}
+	}
+}
+
+func TestStreamStaticFractionsApproximate(t *testing.T) {
+	recs := mkRecs("1.2.3.4", 400, 1)
+	batch := NewExtractor(geo.NewRegistry(42), testNames)
+	batch.MinQueriers = 10
+	bv := batch.Extract(recs, 0, simtime.Day)[0]
+
+	x := newTestStream()
+	feed(x, recs)
+	sv := x.Snapshot(0, simtime.Day)[0]
+
+	for i := 0; i < NumStatic; i++ {
+		if math.Abs(sv.X[i]-bv.X[i]) > 0.12 {
+			t.Errorf("static %d: stream %.2f vs batch %.2f", i, sv.X[i], bv.X[i])
+		}
+	}
+	// Entropies from the sample should track the exact values.
+	if math.Abs(sv.Dynamic(DynGlobalEntropy)-bv.Dynamic(DynGlobalEntropy)) > 0.15 {
+		t.Errorf("global entropy: stream %.2f vs batch %.2f",
+			sv.Dynamic(DynGlobalEntropy), bv.Dynamic(DynGlobalEntropy))
+	}
+}
+
+func TestStreamDedup(t *testing.T) {
+	x := newTestStream()
+	o := ipaddr.MustParse("1.2.3.4")
+	q := ipaddr.MustParse("10.0.0.1")
+	for k := 0; k < 5; k++ {
+		x.Observe(dnslog.Record{Time: simtime.Time(k), Originator: o, Querier: q})
+	}
+	x.Observe(dnslog.Record{Time: 100, Originator: o, Querier: q})
+	agg := x.aggs[o]
+	if agg.queries != 2 {
+		t.Errorf("queries = %d after dedup, want 2", agg.queries)
+	}
+}
+
+func TestStreamThreshold(t *testing.T) {
+	x := newTestStream()
+	feed(x, mkRecs("1.2.3.4", 5, 1)) // below MinQueriers=10
+	if got := x.Snapshot(0, simtime.Day); len(got) != 0 {
+		t.Errorf("sub-threshold originator surfaced: %v", got)
+	}
+}
+
+func TestStreamEviction(t *testing.T) {
+	x := newTestStream()
+	x.MaxOriginators = 64
+	st := rng.New(3)
+	// One big originator that must survive eviction.
+	big := ipaddr.MustParse("9.9.9.9")
+	for q := 0; q < 300; q++ {
+		x.Observe(dnslog.Record{Time: simtime.Time(q * 40), Originator: big,
+			Querier: ipaddr.Addr(st.Uint64())})
+	}
+	// A flood of one-querier originators.
+	for o := 0; o < 500; o++ {
+		x.Observe(dnslog.Record{Time: simtime.Time(o), Originator: ipaddr.Addr(st.Uint64()),
+			Querier: ipaddr.Addr(st.Uint64())})
+	}
+	if x.Tracked() > 64 {
+		t.Errorf("tracked %d originators, cap 64", x.Tracked())
+	}
+	vs := x.Snapshot(0, simtime.Day)
+	found := false
+	for _, v := range vs {
+		if v.Originator == big {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("large originator evicted in favor of the one-querier tail")
+	}
+}
+
+func TestStreamMemoryBounded(t *testing.T) {
+	x := newTestStream()
+	x.SampleK = 64
+	st := rng.New(5)
+	o := ipaddr.MustParse("1.2.3.4")
+	for q := 0; q < 50000; q++ {
+		x.Observe(dnslog.Record{Time: simtime.Time(q), Originator: o,
+			Querier: ipaddr.Addr(st.Uint64())})
+	}
+	agg := x.aggs[o]
+	if len(agg.sample.addrs) > 64 {
+		t.Errorf("sample grew to %d > k", len(agg.sample.addrs))
+	}
+	est := int(agg.queriers.Estimate())
+	if est < 45000 || est > 55000 {
+		t.Errorf("estimate %d for ~50000 uniques", est)
+	}
+}
+
+func TestKMVIsUniformOverDistinct(t *testing.T) {
+	// The bottom-k sample must not over-represent hot queriers: feed one
+	// querier a thousand times among a thousand singletons; it should
+	// occupy at most one sample slot.
+	x := newTestStream()
+	x.DedupWindow = 0
+	o := ipaddr.MustParse("1.2.3.4")
+	hot := ipaddr.MustParse("10.0.0.1")
+	for k := 0; k < 1000; k++ {
+		x.Observe(dnslog.Record{Time: simtime.Time(k * 60), Originator: o, Querier: hot})
+	}
+	st := rng.New(9)
+	for q := 0; q < 1000; q++ {
+		x.Observe(dnslog.Record{Time: simtime.Time(q), Originator: o,
+			Querier: ipaddr.Addr(st.Uint64())})
+	}
+	hotCount := 0
+	for _, a := range x.aggs[o].sample.addrs {
+		if a == hot {
+			hotCount++
+		}
+	}
+	if hotCount > 1 {
+		t.Errorf("hot querier occupies %d sample slots", hotCount)
+	}
+}
+
+func BenchmarkStreamObserve(b *testing.B) {
+	x := newTestStream()
+	st := rng.New(1)
+	recs := make([]dnslog.Record, 4096)
+	for i := range recs {
+		recs[i] = dnslog.Record{
+			Time:       simtime.Time(i),
+			Originator: ipaddr.Addr(st.Uint64() & 0xff), // 256 originators
+			Querier:    ipaddr.Addr(st.Uint64()),
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Observe(recs[i%len(recs)])
+	}
+}

@@ -1,0 +1,158 @@
+package hll
+
+import (
+	"math"
+	"testing"
+
+	"dnsbackscatter/internal/rng"
+)
+
+func TestPrecisionBounds(t *testing.T) {
+	for _, p := range []uint8{0, 3, 19, 64} {
+		if _, err := New(p); err == nil {
+			t.Errorf("precision %d accepted", p)
+		}
+	}
+	for _, p := range []uint8{4, 11, 18} {
+		if _, err := New(p); err != nil {
+			t.Errorf("precision %d rejected: %v", p, err)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew(0) did not panic")
+		}
+	}()
+	MustNew(0)
+}
+
+func TestAccuracyAcrossScales(t *testing.T) {
+	st := rng.New(42)
+	for _, n := range []int{10, 100, 1000, 10000, 200000} {
+		s := MustNew(11)
+		for i := 0; i < n; i++ {
+			s.Add(Hash64(st.Uint64()))
+		}
+		got := float64(s.Estimate())
+		relErr := math.Abs(got-float64(n)) / float64(n)
+		// 2048 registers: ~2.3% standard error; allow 4 sigma.
+		if relErr > 0.10 {
+			t.Errorf("n=%d: estimate %v, rel err %.3f", n, got, relErr)
+		}
+	}
+}
+
+func TestDuplicatesDoNotInflate(t *testing.T) {
+	s := MustNew(11)
+	for i := 0; i < 100; i++ {
+		for k := 0; k < 50; k++ {
+			s.Add(Hash64(uint64(i)))
+		}
+	}
+	got := s.Estimate()
+	if got < 90 || got > 110 {
+		t.Errorf("100 uniques with duplicates estimated as %d", got)
+	}
+}
+
+func TestSmallCountsExact(t *testing.T) {
+	// Linear counting should make tiny cardinalities near-exact — this is
+	// what the ≥20-querier threshold depends on.
+	for _, n := range []int{1, 5, 20, 25} {
+		s := MustNew(11)
+		for i := 0; i < n; i++ {
+			s.Add(Hash64(uint64(i) * 2654435761))
+		}
+		got := int(s.Estimate())
+		if got < n-1 || got > n+1 {
+			t.Errorf("n=%d estimated as %d", n, got)
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := MustNew(11), MustNew(11)
+	st := rng.New(7)
+	truth := make(map[uint64]struct{})
+	for i := 0; i < 5000; i++ {
+		v := st.Uint64()
+		truth[v] = struct{}{}
+		a.Add(Hash64(v))
+	}
+	for i := 0; i < 5000; i++ {
+		v := st.Uint64()
+		truth[v] = struct{}{}
+		b.Add(Hash64(v))
+	}
+	// Shared elements.
+	for i := 0; i < 2000; i++ {
+		v := uint64(i) * 11400714819323198485
+		truth[v] = struct{}{}
+		a.Add(Hash64(v))
+		b.Add(Hash64(v))
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	got := float64(a.Estimate())
+	want := float64(len(truth))
+	if math.Abs(got-want)/want > 0.10 {
+		t.Errorf("merged estimate %v, want ≈%v", got, want)
+	}
+	if err := a.Merge(MustNew(12)); err == nil {
+		t.Error("mismatched precision merge accepted")
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := MustNew(8)
+	for i := 0; i < 1000; i++ {
+		s.Add(Hash64(uint64(i)))
+	}
+	s.Reset()
+	if got := s.Estimate(); got != 0 {
+		t.Errorf("estimate after reset = %d", got)
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	if MustNew(11).SizeBytes() != 2048 {
+		t.Error("wrong register size")
+	}
+}
+
+func TestHash64Avalanche(t *testing.T) {
+	// Flipping one input bit should flip ~half the output bits.
+	base := Hash64(12345)
+	totalFlips := 0
+	for b := 0; b < 64; b++ {
+		diff := base ^ Hash64(12345^(1<<b))
+		flips := 0
+		for ; diff != 0; diff &= diff - 1 {
+			flips++
+		}
+		totalFlips += flips
+	}
+	mean := float64(totalFlips) / 64
+	if mean < 24 || mean > 40 {
+		t.Errorf("mean output bit flips = %v, want ≈32", mean)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	s := MustNew(11)
+	for i := 0; i < b.N; i++ {
+		s.Add(Hash64(uint64(i)))
+	}
+}
+
+func BenchmarkEstimate(b *testing.B) {
+	s := MustNew(11)
+	for i := 0; i < 100000; i++ {
+		s.Add(Hash64(uint64(i)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Estimate()
+	}
+}

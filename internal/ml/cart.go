@@ -1,0 +1,238 @@
+package ml
+
+import (
+	"sort"
+
+	"dnsbackscatter/internal/rng"
+)
+
+// CARTConfig controls decision-tree growth.
+type CARTConfig struct {
+	MaxDepth    int // 0 = unlimited
+	MinLeaf     int // minimum samples per leaf (default 1)
+	MinSplit    int // minimum samples to attempt a split (default 2)
+	MaxFeatures int // features examined per split; 0 = all (forests subsample)
+}
+
+// CART trains a single classification tree with Gini-impurity splits
+// (Breiman et al. 1984), the first of the paper's three algorithms.
+type CART struct {
+	Config CARTConfig
+}
+
+// Name implements Trainer.
+func (CART) Name() string { return "CART" }
+
+// node is one tree node; leaves have feature == -1.
+type node struct {
+	feature   int
+	threshold float64
+	left      *node
+	right     *node
+	label     int
+}
+
+// Tree is a trained decision tree.
+type Tree struct {
+	root *node
+	// importance accumulates weighted Gini decrease per feature; forests
+	// aggregate it into Table IV's discriminative-feature ranking.
+	importance []float64
+}
+
+// Predict implements Classifier.
+func (t *Tree) Predict(x []float64) int {
+	n := t.root
+	for n.feature >= 0 {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.label
+}
+
+// Importance returns the tree's per-feature impurity decrease, normalized
+// to sum to 1 (zero vector if no splits).
+func (t *Tree) Importance() []float64 {
+	out := make([]float64, len(t.importance))
+	var sum float64
+	for _, v := range t.importance {
+		sum += v
+	}
+	if sum == 0 {
+		return out
+	}
+	for i, v := range t.importance {
+		out[i] = v / sum
+	}
+	return out
+}
+
+// Train implements Trainer.
+func (c CART) Train(d *Dataset, st *rng.Stream) Classifier {
+	return c.TrainTree(d, st)
+}
+
+// TrainTree grows the tree and returns the concrete type (forests need the
+// importances).
+func (c CART) TrainTree(d *Dataset, st *rng.Stream) *Tree {
+	cfg := c.Config
+	if cfg.MinLeaf < 1 {
+		cfg.MinLeaf = 1
+	}
+	if cfg.MinSplit < 2 {
+		cfg.MinSplit = 2
+	}
+	t := &Tree{importance: make([]float64, d.NumFeatures())}
+	idx := make([]int, d.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	b := &treeBuilder{d: d, cfg: cfg, st: st, tree: t, total: d.Len()}
+	t.root = b.grow(idx, 0)
+	return t
+}
+
+type treeBuilder struct {
+	d     *Dataset
+	cfg   CARTConfig
+	st    *rng.Stream
+	tree  *Tree
+	total int
+}
+
+// gini computes Gini impurity from class counts over n samples.
+func gini(counts []int, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	g := 1.0
+	for _, c := range counts {
+		p := float64(c) / float64(n)
+		g -= p * p
+	}
+	return g
+}
+
+func majorityLabel(counts []int) int {
+	best, bestN := 0, -1
+	for label, n := range counts {
+		if n > bestN {
+			best, bestN = label, n
+		}
+	}
+	return best
+}
+
+func (b *treeBuilder) grow(idx []int, depth int) *node {
+	counts := make([]int, b.d.NumClasses)
+	for _, i := range idx {
+		counts[b.d.Y[i]]++
+	}
+	leaf := &node{feature: -1, label: majorityLabel(counts)}
+	if len(idx) < b.cfg.MinSplit || (b.cfg.MaxDepth > 0 && depth >= b.cfg.MaxDepth) {
+		return leaf
+	}
+	parentGini := gini(counts, len(idx))
+	if parentGini == 0 {
+		return leaf
+	}
+
+	feat, thr, gain := b.bestSplit(idx, counts, parentGini)
+	if feat < 0 {
+		return leaf
+	}
+
+	var left, right []int
+	for _, i := range idx {
+		if b.d.X[i][feat] <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < b.cfg.MinLeaf || len(right) < b.cfg.MinLeaf {
+		return leaf
+	}
+	b.tree.importance[feat] += gain * float64(len(idx)) / float64(b.total)
+	return &node{
+		feature:   feat,
+		threshold: thr,
+		label:     leaf.label,
+		left:      b.grow(left, depth+1),
+		right:     b.grow(right, depth+1),
+	}
+}
+
+// bestSplit scans (a possibly random subset of) features for the split
+// maximizing Gini gain. Thresholds are midpoints between consecutive
+// distinct sorted values.
+func (b *treeBuilder) bestSplit(idx []int, parentCounts []int, parentGini float64) (feat int, thr, gain float64) {
+	nf := b.d.NumFeatures()
+	feats := make([]int, nf)
+	for i := range feats {
+		feats[i] = i
+	}
+	if b.cfg.MaxFeatures > 0 && b.cfg.MaxFeatures < nf {
+		b.st.Shuffle(nf, func(i, j int) { feats[i], feats[j] = feats[j], feats[i] })
+		feats = feats[:b.cfg.MaxFeatures]
+	}
+
+	feat = -1
+	n := len(idx)
+	type fv struct {
+		v float64
+		y int
+	}
+	vals := make([]fv, n)
+	leftCounts := make([]int, b.d.NumClasses)
+
+	for _, f := range feats {
+		for i, row := range idx {
+			vals[i] = fv{v: b.d.X[row][f], y: b.d.Y[row]}
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i].v < vals[j].v })
+		if vals[0].v == vals[n-1].v {
+			continue
+		}
+		for i := range leftCounts {
+			leftCounts[i] = 0
+		}
+		nLeft := 0
+		for i := 0; i < n-1; i++ {
+			leftCounts[vals[i].y]++
+			nLeft++
+			if vals[i].v == vals[i+1].v {
+				continue
+			}
+			nRight := n - nLeft
+			gl := giniLeft(leftCounts, nLeft)
+			gr := giniRight(parentCounts, leftCounts, nRight)
+			g := parentGini - (float64(nLeft)*gl+float64(nRight)*gr)/float64(n)
+			if g > gain {
+				gain = g
+				feat = f
+				thr = (vals[i].v + vals[i+1].v) / 2
+			}
+		}
+	}
+	return feat, thr, gain
+}
+
+func giniLeft(left []int, n int) float64 { return gini(left, n) }
+
+// giniRight derives the right-side impurity from parent minus left counts
+// without allocating.
+func giniRight(parent, left []int, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	g := 1.0
+	for i := range parent {
+		p := float64(parent[i]-left[i]) / float64(n)
+		g -= p * p
+	}
+	return g
+}

@@ -1,0 +1,348 @@
+// Package ml implements the machine-learning algorithms the paper
+// classifies originators with (§III-D): a CART decision tree, a Random
+// Forest, and a kernel SVM, plus the evaluation machinery of §IV-C
+// (stratified splits, repeated cross-validation, accuracy / precision /
+// recall / F1, confusion matrices, and Gini feature importance).
+//
+// Everything is written from scratch on the standard library; randomized
+// algorithms draw from explicit rng streams so training is reproducible.
+package ml
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dnsbackscatter/internal/rng"
+)
+
+// Dataset is a labeled design matrix. Labels are small ints in
+// [0, NumClasses).
+type Dataset struct {
+	X          [][]float64
+	Y          []int
+	NumClasses int
+}
+
+// NewDataset validates and wraps the inputs.
+func NewDataset(x [][]float64, y []int, numClasses int) (*Dataset, error) {
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("ml: %d rows but %d labels", len(x), len(y))
+	}
+	if len(x) == 0 {
+		return nil, fmt.Errorf("ml: empty dataset")
+	}
+	w := len(x[0])
+	for i, row := range x {
+		if len(row) != w {
+			return nil, fmt.Errorf("ml: row %d has width %d, want %d", i, len(row), w)
+		}
+	}
+	for i, label := range y {
+		if label < 0 || label >= numClasses {
+			return nil, fmt.Errorf("ml: label %d out of range at row %d", label, i)
+		}
+	}
+	return &Dataset{X: x, Y: y, NumClasses: numClasses}, nil
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.Y) }
+
+// NumFeatures returns the design-matrix width.
+func (d *Dataset) NumFeatures() int {
+	if len(d.X) == 0 {
+		return 0
+	}
+	return len(d.X[0])
+}
+
+// Subset returns the dataset restricted to the given row indices. Rows are
+// shared, not copied.
+func (d *Dataset) Subset(idx []int) *Dataset {
+	x := make([][]float64, len(idx))
+	y := make([]int, len(idx))
+	for i, j := range idx {
+		x[i], y[i] = d.X[j], d.Y[j]
+	}
+	return &Dataset{X: x, Y: y, NumClasses: d.NumClasses}
+}
+
+// ClassCounts returns the per-class sample counts.
+func (d *Dataset) ClassCounts() []int {
+	counts := make([]int, d.NumClasses)
+	for _, y := range d.Y {
+		counts[y]++
+	}
+	return counts
+}
+
+// Classifier predicts a class label for a feature vector.
+type Classifier interface {
+	Predict(x []float64) int
+}
+
+// Trainer builds a classifier from a dataset using the supplied stream for
+// any internal randomization.
+type Trainer interface {
+	Train(d *Dataset, st *rng.Stream) Classifier
+	Name() string
+}
+
+// StratifiedSplit partitions row indices into train/test with the given
+// train fraction, preserving class proportions (the paper's random 60/40
+// splits are stratified by construction of their labeled sets).
+func StratifiedSplit(d *Dataset, trainFrac float64, st *rng.Stream) (train, test []int) {
+	byClass := make([][]int, d.NumClasses)
+	for i, y := range d.Y {
+		byClass[y] = append(byClass[y], i)
+	}
+	for _, rows := range byClass {
+		st.Shuffle(len(rows), func(i, j int) { rows[i], rows[j] = rows[j], rows[i] })
+		k := int(math.Round(trainFrac * float64(len(rows))))
+		if k == 0 && len(rows) > 0 {
+			k = 1 // every class keeps at least one training example
+		}
+		if k == len(rows) && len(rows) > 1 {
+			k--
+		}
+		train = append(train, rows[:k]...)
+		test = append(test, rows[k:]...)
+	}
+	sort.Ints(train)
+	sort.Ints(test)
+	return train, test
+}
+
+// Confusion is a confusion matrix: Counts[truth][predicted].
+type Confusion struct {
+	Counts [][]int
+}
+
+// NewConfusion returns an empty k-class confusion matrix.
+func NewConfusion(k int) *Confusion {
+	c := &Confusion{Counts: make([][]int, k)}
+	for i := range c.Counts {
+		c.Counts[i] = make([]int, k)
+	}
+	return c
+}
+
+// Add records one prediction.
+func (c *Confusion) Add(truth, pred int) { c.Counts[truth][pred]++ }
+
+// Total returns the number of recorded predictions.
+func (c *Confusion) Total() int {
+	n := 0
+	for _, row := range c.Counts {
+		for _, v := range row {
+			n += v
+		}
+	}
+	return n
+}
+
+// Metrics are the paper's evaluation numbers (§IV-C): accuracy plus
+// macro-averaged precision, recall, and F1 over classes present in truth.
+type Metrics struct {
+	Accuracy  float64
+	Precision float64
+	Recall    float64
+	F1        float64
+}
+
+// Score computes Metrics from a confusion matrix. Per-class precision with
+// no predicted positives, or recall with no true members, contributes zero
+// (the conservative convention).
+func (c *Confusion) Score() Metrics {
+	k := len(c.Counts)
+	var correct, total int
+	var precSum, recSum, f1Sum float64
+	classes := 0
+	for cls := 0; cls < k; cls++ {
+		tp := c.Counts[cls][cls]
+		var fn, fp int
+		for j := 0; j < k; j++ {
+			if j != cls {
+				fn += c.Counts[cls][j]
+				fp += c.Counts[j][cls]
+			}
+		}
+		correct += tp
+		total += tp + fn
+		if tp+fn == 0 {
+			continue // class absent from truth: skip in macro average
+		}
+		classes++
+		var prec, rec float64
+		if tp+fp > 0 {
+			prec = float64(tp) / float64(tp+fp)
+		}
+		rec = float64(tp) / float64(tp+fn)
+		precSum += prec
+		recSum += rec
+		if prec+rec > 0 {
+			f1Sum += 2 * prec * rec / (prec + rec)
+		}
+	}
+	m := Metrics{}
+	if total > 0 {
+		m.Accuracy = float64(correct) / float64(total)
+	}
+	if classes > 0 {
+		m.Precision = precSum / float64(classes)
+		m.Recall = recSum / float64(classes)
+		m.F1 = f1Sum / float64(classes)
+	}
+	return m
+}
+
+// ClassMetrics are per-class precision/recall/F1 with supports.
+type ClassMetrics struct {
+	Class     int
+	Support   int // true members in the evaluation
+	Predicted int // predicted members
+	Precision float64
+	Recall    float64
+	F1        float64
+}
+
+// PerClass returns metrics for every class with either truth or predicted
+// members — the per-class view behind §IV-C's sparse-class discussion.
+func (c *Confusion) PerClass() []ClassMetrics {
+	k := len(c.Counts)
+	var out []ClassMetrics
+	for cls := 0; cls < k; cls++ {
+		tp := c.Counts[cls][cls]
+		var fn, fp int
+		for j := 0; j < k; j++ {
+			if j != cls {
+				fn += c.Counts[cls][j]
+				fp += c.Counts[j][cls]
+			}
+		}
+		if tp+fn == 0 && tp+fp == 0 {
+			continue
+		}
+		m := ClassMetrics{Class: cls, Support: tp + fn, Predicted: tp + fp}
+		if tp+fp > 0 {
+			m.Precision = float64(tp) / float64(tp+fp)
+		}
+		if tp+fn > 0 {
+			m.Recall = float64(tp) / float64(tp+fn)
+		}
+		if m.Precision+m.Recall > 0 {
+			m.F1 = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// EvaluateConfusion runs clf over the test rows of d and returns the raw
+// confusion matrix.
+func EvaluateConfusion(clf Classifier, d *Dataset, rows []int) *Confusion {
+	conf := NewConfusion(d.NumClasses)
+	for _, i := range rows {
+		conf.Add(d.Y[i], clf.Predict(d.X[i]))
+	}
+	return conf
+}
+
+// Evaluate runs clf over the test rows of d and scores it.
+func Evaluate(clf Classifier, d *Dataset, rows []int) Metrics {
+	conf := NewConfusion(d.NumClasses)
+	for _, i := range rows {
+		conf.Add(d.Y[i], clf.Predict(d.X[i]))
+	}
+	return conf.Score()
+}
+
+// MeanStd summarizes repeated runs.
+type MeanStd struct {
+	Mean, Std float64
+}
+
+func meanStd(xs []float64) MeanStd {
+	if len(xs) == 0 {
+		return MeanStd{}
+	}
+	var sum float64
+	for _, v := range xs {
+		sum += v
+	}
+	mean := sum / float64(len(xs))
+	var ss float64
+	for _, v := range xs {
+		ss += (v - mean) * (v - mean)
+	}
+	return MeanStd{Mean: mean, Std: math.Sqrt(ss / float64(len(xs)))}
+}
+
+// ValidationResult aggregates repeated random-split validation.
+type ValidationResult struct {
+	Trainer   string
+	Runs      int
+	Accuracy  MeanStd
+	Precision MeanStd
+	Recall    MeanStd
+	F1        MeanStd
+}
+
+// CrossValidate repeats (split, train, test) runs times — the paper's 50
+// iterations of random 60/40 splits — and reports mean and std of each
+// metric.
+func CrossValidate(tr Trainer, d *Dataset, trainFrac float64, runs int, st *rng.Stream) ValidationResult {
+	acc := make([]float64, 0, runs)
+	prec := make([]float64, 0, runs)
+	rec := make([]float64, 0, runs)
+	f1 := make([]float64, 0, runs)
+	for r := 0; r < runs; r++ {
+		trainIdx, testIdx := StratifiedSplit(d, trainFrac, st)
+		clf := tr.Train(d.Subset(trainIdx), st)
+		m := Evaluate(clf, d, testIdx)
+		acc = append(acc, m.Accuracy)
+		prec = append(prec, m.Precision)
+		rec = append(rec, m.Recall)
+		f1 = append(f1, m.F1)
+	}
+	return ValidationResult{
+		Trainer:   tr.Name(),
+		Runs:      runs,
+		Accuracy:  meanStd(acc),
+		Precision: meanStd(prec),
+		Recall:    meanStd(rec),
+		F1:        meanStd(f1),
+	}
+}
+
+// Majority wraps n independently trained classifiers and predicts by vote,
+// implementing the paper's "run each 10 times and take the majority" rule
+// for nondeterministic algorithms. Ties break toward the lowest label.
+type Majority struct {
+	Members []Classifier
+}
+
+// TrainMajority trains n instances of tr on d.
+func TrainMajority(tr Trainer, d *Dataset, n int, st *rng.Stream) *Majority {
+	m := &Majority{Members: make([]Classifier, n)}
+	for i := range m.Members {
+		m.Members[i] = tr.Train(d, st)
+	}
+	return m
+}
+
+// Predict returns the majority vote.
+func (m *Majority) Predict(x []float64) int {
+	votes := make(map[int]int)
+	for _, c := range m.Members {
+		votes[c.Predict(x)]++
+	}
+	best, bestN := 0, -1
+	for label, n := range votes {
+		if n > bestN || (n == bestN && label < best) {
+			best, bestN = label, n
+		}
+	}
+	return best
+}

@@ -1,0 +1,148 @@
+package ml
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dnsbackscatter/internal/rng"
+)
+
+// randomDataset builds a well-formed dataset from fuzz input.
+func randomDataset(seed uint64) *Dataset {
+	st := rng.New(seed)
+	k := 2 + st.Intn(5)
+	dims := 1 + st.Intn(8)
+	n := k * (3 + st.Intn(20))
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := range x {
+		row := make([]float64, dims)
+		for d := range row {
+			row[d] = st.NormFloat64()
+		}
+		x[i] = row
+		y[i] = i % k
+	}
+	d, err := NewDataset(x, y, k)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// TestPredictionsAlwaysInRange: every trainer must return labels within
+// [0, NumClasses) for arbitrary data, including pure-noise datasets.
+func TestPredictionsAlwaysInRange(t *testing.T) {
+	trainers := []Trainer{
+		CART{Config: CARTConfig{MaxDepth: 6}},
+		Forest{Config: ForestConfig{Trees: 10}},
+		SVM{Config: SVMConfig{MaxIters: 20}},
+	}
+	if err := quick.Check(func(seed uint64) bool {
+		d := randomDataset(seed)
+		st := rng.New(seed + 1)
+		for _, tr := range trainers {
+			clf := tr.Train(d, st)
+			for i := 0; i < d.Len(); i++ {
+				if p := clf.Predict(d.X[i]); p < 0 || p >= d.NumClasses {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMetricsBounds: confusion metrics always land in [0, 1].
+func TestMetricsBounds(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		st := rng.New(seed)
+		k := 2 + st.Intn(6)
+		c := NewConfusion(k)
+		n := st.Intn(200)
+		for i := 0; i < n; i++ {
+			c.Add(st.Intn(k), st.Intn(k))
+		}
+		m := c.Score()
+		for _, v := range []float64{m.Accuracy, m.Precision, m.Recall, m.F1} {
+			if v < 0 || v > 1 {
+				return false
+			}
+		}
+		// F1 is bounded by the max of precision and recall... not in
+		// general per-class, but macro-F1 cannot exceed 1 and cannot be
+		// positive when both precision and recall are zero.
+		if m.Precision == 0 && m.Recall == 0 && m.F1 != 0 {
+			return false
+		}
+		return true
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStratifiedSplitPartition: train and test always partition the rows,
+// for any fraction.
+func TestStratifiedSplitPartition(t *testing.T) {
+	if err := quick.Check(func(seed uint64, fracRaw uint8) bool {
+		d := randomDataset(seed)
+		frac := 0.1 + 0.8*float64(fracRaw)/255
+		train, test := StratifiedSplit(d, frac, rng.New(seed))
+		if len(train)+len(test) != d.Len() {
+			return false
+		}
+		seen := make(map[int]bool, d.Len())
+		for _, i := range append(append([]int{}, train...), test...) {
+			if i < 0 || i >= d.Len() || seen[i] {
+				return false
+			}
+			seen[i] = true
+		}
+		return true
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestForestImportanceDistribution: importances are non-negative and sum
+// to at most 1 (exactly 1 when any split happened).
+func TestForestImportanceDistribution(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		d := randomDataset(seed)
+		m := Forest{Config: ForestConfig{Trees: 8}}.TrainForest(d, rng.New(seed))
+		sum := 0.0
+		for _, v := range m.Importance() {
+			if v < 0 {
+				return false
+			}
+			sum += v
+		}
+		return sum <= 1+1e-9
+	}, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDegenerateDatasets: trainers must cope with constant features and
+// single-class data without panicking.
+func TestDegenerateDatasets(t *testing.T) {
+	constant := func() *Dataset {
+		x := make([][]float64, 20)
+		y := make([]int, 20)
+		for i := range x {
+			x[i] = []float64{1, 2, 3}
+			y[i] = i % 2
+		}
+		d, _ := NewDataset(x, y, 2)
+		return d
+	}()
+	st := rng.New(5)
+	for _, tr := range []Trainer{CART{}, Forest{Config: ForestConfig{Trees: 5}}, SVM{Config: SVMConfig{MaxIters: 10}}} {
+		clf := tr.Train(constant, st)
+		if p := clf.Predict([]float64{1, 2, 3}); p < 0 || p > 1 {
+			t.Errorf("%s on constant features predicted %d", tr.Name(), p)
+		}
+	}
+}

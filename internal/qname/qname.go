@@ -1,0 +1,299 @@
+// Package qname models querier reverse-DNS names: the Internet naming
+// conventions the paper's static features are built on (§III-C).
+//
+// It has two halves sharing one keyword vocabulary:
+//
+//   - Classify implements the paper's matcher: split a domain name into
+//     components, scan components left to right, and within a component
+//     take the first matching rule in the fixed rule order (so both
+//     "mail.ns.example.com" and "mail-ns.example.com" classify as mail,
+//     and "pop" resolves to home because home precedes mail).
+//   - Generator produces synthetic querier names for each category,
+//     substituting for the real reverse zones the paper observed.
+package qname
+
+import (
+	"strconv"
+	"strings"
+
+	"dnsbackscatter/internal/ipaddr"
+	"dnsbackscatter/internal/rng"
+)
+
+// Category is a static querier-name class from §III-C.
+type Category int
+
+// Categories in the paper's rule order. Matching takes the first rule that
+// fires, so this order is semantically significant.
+const (
+	Home Category = iota
+	Mail
+	NS
+	FW
+	Antispam
+	WWW
+	NTP
+	CDN
+	AWS
+	MS
+	Google
+	Other    // other-unclassified: a name not matching any rule
+	Unreach  // querier's reverse zone authority cannot be reached
+	NXDomain // no reverse name exists
+	NumCategories
+)
+
+var categoryNames = [NumCategories]string{
+	"home", "mail", "ns", "fw", "antispam", "www", "ntp",
+	"cdn", "aws", "ms", "google", "other", "unreach", "nxdomain",
+}
+
+// String returns the short feature name for c.
+func (c Category) String() string {
+	if c < 0 || c >= NumCategories {
+		return "invalid"
+	}
+	return categoryNames[c]
+}
+
+// ParseCategory maps a short feature name back to its Category.
+func ParseCategory(s string) (Category, bool) {
+	for i, n := range categoryNames {
+		if n == s {
+			return Category(i), true
+		}
+	}
+	return 0, false
+}
+
+// keyword matches a token exactly, or by prefix when the paper's list has
+// a trailing '*' (send*).
+type keyword struct {
+	text   string
+	prefix bool
+}
+
+func kws(words ...string) []keyword {
+	out := make([]keyword, len(words))
+	for i, w := range words {
+		if strings.HasSuffix(w, "*") {
+			out[i] = keyword{text: w[:len(w)-1], prefix: true}
+		} else {
+			out[i] = keyword{text: w}
+		}
+	}
+	return out
+}
+
+// tokenRules are the keyword lists from §III-C, in rule order.
+var tokenRules = []struct {
+	cat      Category
+	keywords []keyword
+}{
+	{Home, kws("ap", "cable", "cpe", "customer", "dsl", "dynamic", "fiber",
+		"flets", "home", "host", "ip", "net", "pool", "pop", "retail", "user")},
+	{Mail, kws("mail", "mx", "smtp", "post", "correo", "poczta", "send*",
+		"lists", "newsletter", "zimbra", "mta", "pop", "imap")},
+	{NS, kws("cns", "dns", "ns", "cache", "resolv", "name")},
+	{FW, kws("firewall", "wall", "fw")},
+	{Antispam, kws("ironport", "spam")},
+	{WWW, kws("www")},
+	{NTP, kws("ntp")},
+}
+
+// suffixRules classify infrastructure by registered-domain suffix
+// (CDN operators, AWS, Azure, Google), checked after token rules fail.
+var suffixRules = []struct {
+	cat      Category
+	suffixes []string
+}{
+	{CDN, []string{".akamaitechnologies.com", ".akamai.net", ".edgecastcdn.net",
+		".cdnetworks.com", ".llnwd.net"}},
+	{AWS, []string{".amazonaws.com"}},
+	{MS, []string{".cloudapp.azure.com", ".microsoft.com"}},
+	{Google, []string{".google.com", ".1e100.net", ".googlebot.com"}},
+}
+
+// Classify maps a querier reverse name to its static category. Empty input
+// is NXDomain (no reverse name). Names are lowercased before matching.
+func Classify(name string) Category {
+	if name == "" {
+		return NXDomain
+	}
+	name = strings.ToLower(strings.TrimSuffix(name, "."))
+
+	// Domain-suffix rules fire regardless of the leftmost label: a CDN
+	// edge node is CDN even when its hostname is a serial number.
+	for _, r := range suffixRules {
+		for _, suf := range r.suffixes {
+			if strings.HasSuffix(name, suf) {
+				return r.cat
+			}
+		}
+	}
+
+	// Token rules: leftmost component wins; within a component, the first
+	// rule in order wins.
+	for len(name) > 0 {
+		comp := name
+		if i := strings.IndexByte(name, '.'); i >= 0 {
+			comp, name = name[:i], name[i+1:]
+		} else {
+			name = ""
+		}
+		if cat, ok := classifyComponent(comp); ok {
+			return cat
+		}
+	}
+	return Other
+}
+
+// classifyComponent checks one dot-separated component against the token
+// rules. Tokens are maximal alphabetic runs, so "home1-2-3-4" yields the
+// token "home" and "ironport" stays a single token (never matching "ip").
+func classifyComponent(comp string) (Category, bool) {
+	for _, r := range tokenRules {
+		for _, kw := range r.keywords {
+			if componentHasKeyword(comp, kw) {
+				return r.cat, true
+			}
+		}
+	}
+	return 0, false
+}
+
+func componentHasKeyword(comp string, kw keyword) bool {
+	for i := 0; i < len(comp); {
+		if !isAlpha(comp[i]) {
+			i++
+			continue
+		}
+		j := i
+		for j < len(comp) && isAlpha(comp[j]) {
+			j++
+		}
+		tok := comp[i:j]
+		if kw.prefix {
+			if strings.HasPrefix(tok, kw.text) {
+				return true
+			}
+		} else if tok == kw.text {
+			return true
+		}
+		i = j
+	}
+	return false
+}
+
+func isAlpha(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+// Generator produces synthetic querier names with the keyword structure of
+// each category. All choices come from the supplied stream, so a seeded
+// generator is fully reproducible.
+type Generator struct {
+	st *rng.Stream
+}
+
+// NewGenerator returns a generator drawing from st.
+func NewGenerator(st *rng.Stream) *Generator {
+	return &Generator{st: st}
+}
+
+// domainWords avoid every token keyword so the registered domain never
+// changes the classification of the leftmost label.
+var domainWords = []string{
+	"telecom", "example", "online", "hosting", "global", "metro", "city",
+	"bluesky", "zone", "grid", "nova", "corp", "media", "digital", "plus",
+	"prime", "apex", "orbit", "vista", "delta",
+}
+
+func init() {
+	for _, w := range domainWords {
+		if cat, ok := classifyComponent(w); ok {
+			panic("qname: domain word " + w + " collides with keyword rule " + cat.String())
+		}
+	}
+}
+
+// Domain returns a registered domain under the given ccTLD, e.g.
+// "metro3.jp". The id diversifies organizations within a country.
+func (g *Generator) Domain(cctld string, id int) string {
+	w := domainWords[g.st.Intn(len(domainWords))]
+	return w + strconv.Itoa(id%97) + "." + cctld
+}
+
+var (
+	homeKeywords   = []string{"home", "dsl", "cable", "dynamic", "cpe", "customer", "pool", "fiber", "flets", "user", "retail"}
+	mailHosts      = []string{"mail", "mx", "smtp", "post", "zimbra", "mta", "imap", "sendnode", "lists", "newsletter", "correo", "poczta"}
+	nsHosts        = []string{"ns", "dns", "cns", "cache", "resolv", "name"}
+	fwHosts        = []string{"firewall", "fw", "wall"}
+	antispamHosts  = []string{"ironport", "spam"}
+	otherHosts     = []string{"srv", "node", "sys", "box", "zeus", "eagle", "alpha", "beta", "omega", "core", "vpn", "db", "app", "api", "login", "portal"}
+	cdnSuffixes    = []string{"deploy.akamaitechnologies.com", "static.akamai.net", "wac.edgecastcdn.net", "px.cdnetworks.com", "fcs.llnwd.net"}
+	googleSuffixes = []string{"google.com", "1e100.net", "googlebot.com"}
+	msSuffixes     = []string{"cloudapp.azure.com", "microsoft.com"}
+)
+
+// Name generates a reverse name for a querier at addr in category cat under
+// the given ccTLD. It returns "" for NXDomain and Unreach (no usable name);
+// callers track unreachability separately.
+func (g *Generator) Name(cat Category, addr ipaddr.Addr, cctld string) string {
+	o0, o1, o2, o3 := addr.Octets()
+	dom := g.Domain(cctld, int(addr.Slash16()))
+	quad := strconv.Itoa(int(o0)) + "-" + strconv.Itoa(int(o1)) + "-" +
+		strconv.Itoa(int(o2)) + "-" + strconv.Itoa(int(o3))
+	pick := func(xs []string) string { return xs[g.st.Intn(len(xs))] }
+
+	switch cat {
+	case Home:
+		kw := pick(homeKeywords)
+		if g.st.Bool(0.5) {
+			return kw + quad + "." + dom
+		}
+		return kw + "-" + quad + "." + dom
+	case Mail:
+		h := pick(mailHosts)
+		if g.st.Bool(0.3) {
+			h += strconv.Itoa(1 + g.st.Intn(9))
+		}
+		// A slice of compound names exercises the precedence rules.
+		if g.st.Bool(0.1) {
+			return h + ".ns" + strconv.Itoa(g.st.Intn(4)) + "." + dom
+		}
+		return h + "." + dom
+	case NS:
+		h := pick(nsHosts)
+		if g.st.Bool(0.4) {
+			h += strconv.Itoa(1 + g.st.Intn(4))
+		}
+		return h + "." + dom
+	case FW:
+		return pick(fwHosts) + strconv.Itoa(g.st.Intn(3)) + "." + dom
+	case Antispam:
+		return pick(antispamHosts) + strconv.Itoa(1+g.st.Intn(4)) + "." + dom
+	case WWW:
+		h := "www"
+		if g.st.Bool(0.3) {
+			h += strconv.Itoa(1 + g.st.Intn(4))
+		}
+		return h + "." + dom
+	case NTP:
+		return "ntp" + strconv.Itoa(g.st.Intn(4)) + "." + dom
+	case CDN:
+		return "a" + quad + "." + pick(cdnSuffixes)
+	case AWS:
+		return "ec2-" + quad + ".compute-1.amazonaws.com"
+	case MS:
+		return "waws-" + strconv.Itoa(int(o2)) + "-" + strconv.Itoa(int(o3)) + "." + pick(msSuffixes)
+	case Google:
+		return "rate-limited-proxy-" + quad + "." + pick(googleSuffixes)
+	case Other:
+		return pick(otherHosts) + strconv.Itoa(g.st.Intn(40)) + "." + dom
+	case NXDomain, Unreach:
+		return ""
+	default:
+		panic("qname: Name for invalid category " + strconv.Itoa(int(cat)))
+	}
+}

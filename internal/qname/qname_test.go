@@ -1,0 +1,207 @@
+package qname
+
+import (
+	"testing"
+
+	"dnsbackscatter/internal/ipaddr"
+	"dnsbackscatter/internal/rng"
+)
+
+func TestClassifyPaperExamples(t *testing.T) {
+	// Examples taken directly from §III-C.
+	cases := []struct {
+		name string
+		want Category
+	}{
+		{"home1-2-3-4.example.com", Home},
+		{"mail.example.com", Mail},
+		{"ns.example.com", NS},
+		{"firewall.example.com", FW},
+		{"spam.example.com", Antispam},
+		{"www.example.com", WWW},
+		{"ntp.example.com", NTP},
+		// "mail.google.com is both google and mail": suffix rules fire
+		// on the registered domain, so it is google infrastructure.
+		{"mail.google.com", Google},
+		// "both mail.ns.example.com and mail-ns.example.com are mail".
+		{"mail.ns.example.com", Mail},
+		{"mail-ns.example.com", Mail},
+		{"", NXDomain},
+	}
+	for _, c := range cases {
+		if got := Classify(c.name); got != c.want {
+			t.Errorf("Classify(%q) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestClassifyRulePrecedence(t *testing.T) {
+	// "pop" appears in both home and mail keyword lists; home is the
+	// first rule so it wins.
+	if got := Classify("pop.example.com"); got != Home {
+		t.Errorf("pop classified as %v, want home (first rule wins)", got)
+	}
+	// Left-most component wins over later components.
+	if got := Classify("zeusbox.mail.example.com"); got != Mail {
+		t.Errorf("fallthrough to second component got %v, want mail", got)
+	}
+	if got := Classify("dsl-1-2-3-4.mail.example.com"); got != Home {
+		t.Errorf("leftmost home vs later mail got %v, want home", got)
+	}
+}
+
+func TestClassifyTokenBoundaries(t *testing.T) {
+	cases := []struct {
+		name string
+		want Category
+	}{
+		// "ironport" must not match the "ip" home keyword: tokens are
+		// maximal alphabetic runs.
+		{"ironport2.example.com", Antispam},
+		{"smtp3.example.com", Mail},
+		// send* is a prefix rule.
+		{"sendgrid7.example.com", Mail},
+		{"sender.example.com", Mail},
+		// Digits split tokens: "mx" inside "mx9" matches.
+		{"mx9.example.com", Mail},
+		// No rule matches: other-unclassified.
+		{"zeus17.example.com", Other},
+		// Keyword hidden inside a longer token must not match.
+		{"hostile.example.com", Other},
+		{"mailbag.example.com", Other},
+		{"network.example.com", Other},
+	}
+	for _, c := range cases {
+		if got := Classify(c.name); got != c.want {
+			t.Errorf("Classify(%q) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestClassifyCaseAndDot(t *testing.T) {
+	if got := Classify("MAIL.Example.COM."); got != Mail {
+		t.Errorf("case/trailing-dot handling got %v, want mail", got)
+	}
+}
+
+func TestClassifySuffixRules(t *testing.T) {
+	cases := []struct {
+		name string
+		want Category
+	}{
+		{"a1-2-3-4.deploy.akamaitechnologies.com", CDN},
+		{"gs1.wac.edgecastcdn.net", CDN},
+		{"cdn77.px.cdnetworks.com", CDN},
+		{"ec2-54-1-2-3.compute-1.amazonaws.com", AWS},
+		{"waws-prod-bay-01.cloudapp.azure.com", MS},
+		{"rate-limited-proxy-66-249-81-1.google.com", Google},
+		{"crawl-66-249-66-1.googlebot.com", Google},
+		// Suffix must anchor at a label boundary.
+		{"notgooglebot.com", Other},
+		{"fakeamazonaws.com", Other},
+	}
+	for _, c := range cases {
+		if got := Classify(c.name); got != c.want {
+			t.Errorf("Classify(%q) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	if Home.String() != "home" || NXDomain.String() != "nxdomain" {
+		t.Error("category names wrong")
+	}
+	if Category(-1).String() != "invalid" || NumCategories.String() != "invalid" {
+		t.Error("out-of-range category must stringify as invalid")
+	}
+}
+
+func TestParseCategory(t *testing.T) {
+	for c := Category(0); c < NumCategories; c++ {
+		got, ok := ParseCategory(c.String())
+		if !ok || got != c {
+			t.Errorf("ParseCategory(%q) = %v, %v", c.String(), got, ok)
+		}
+	}
+	if _, ok := ParseCategory("bogus"); ok {
+		t.Error("ParseCategory accepted bogus name")
+	}
+}
+
+// TestGeneratorMatchesClassifier is the central consistency property: every
+// generated name must classify back to the category it was generated for.
+func TestGeneratorMatchesClassifier(t *testing.T) {
+	g := NewGenerator(rng.New(42))
+	st := rng.New(43)
+	for cat := Category(0); cat < NumCategories; cat++ {
+		for i := 0; i < 500; i++ {
+			addr := ipaddr.Addr(st.Uint64())
+			name := g.Name(cat, addr, "jp")
+			got := Classify(name)
+			want := cat
+			if cat == Unreach {
+				want = NXDomain // no name to classify; both are nameless
+			}
+			if got != want {
+				t.Fatalf("cat %v generated %q which classifies as %v", cat, name, got)
+			}
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := NewGenerator(rng.New(7))
+	b := NewGenerator(rng.New(7))
+	addr := ipaddr.MustParse("10.20.30.40")
+	for i := 0; i < 100; i++ {
+		if x, y := a.Name(Home, addr, "jp"), b.Name(Home, addr, "jp"); x != y {
+			t.Fatalf("generator diverged: %q vs %q", x, y)
+		}
+	}
+}
+
+func TestGeneratorNamelessCategories(t *testing.T) {
+	g := NewGenerator(rng.New(7))
+	addr := ipaddr.MustParse("10.20.30.40")
+	if g.Name(NXDomain, addr, "jp") != "" || g.Name(Unreach, addr, "jp") != "" {
+		t.Error("nameless categories must yield empty names")
+	}
+}
+
+func TestGeneratorPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid category did not panic")
+		}
+	}()
+	NewGenerator(rng.New(1)).Name(NumCategories, 0, "jp")
+}
+
+func TestDomainUsesCCTLD(t *testing.T) {
+	g := NewGenerator(rng.New(7))
+	d := g.Domain("jp", 12)
+	if len(d) < 4 || d[len(d)-3:] != ".jp" {
+		t.Errorf("Domain = %q, want .jp suffix", d)
+	}
+}
+
+func BenchmarkClassify(b *testing.B) {
+	names := []string{
+		"home1-2-3-4.telecom5.jp",
+		"mail.example.com",
+		"a10-2-3-4.deploy.akamaitechnologies.com",
+		"zeus17.example.com",
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Classify(names[i%len(names)])
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	g := NewGenerator(rng.New(1))
+	addr := ipaddr.MustParse("10.20.30.40")
+	for i := 0; i < b.N; i++ {
+		_ = g.Name(Category(i%int(Other)), addr, "jp")
+	}
+}

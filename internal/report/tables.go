@@ -1,0 +1,365 @@
+package report
+
+import (
+	"fmt"
+
+	backscatter "dnsbackscatter"
+
+	"dnsbackscatter/internal/activity"
+	"dnsbackscatter/internal/dnssim"
+	"dnsbackscatter/internal/features"
+	"dnsbackscatter/internal/simtime"
+)
+
+// forwardRatio estimates total query volume from reverse volume per
+// authority, matching the all/reverse ratios of the paper's Table I
+// (JP ≈ 13x, B-Root ≈ 72x, M-Root ≈ 138x).
+func forwardRatio(authority string) float64 {
+	switch authority {
+	case "jp":
+		return 13
+	case "b-root":
+		return 72
+	default:
+		return 138
+	}
+}
+
+// Table1 regenerates the dataset catalog.
+func Table1(s *Store) string {
+	t := &tw{}
+	t.row("type", "dataset", "operator", "start (UTC)", "duration", "sampling", "queries(all,est)", "(reverse)", "qps(rev)")
+	for _, spec := range []backscatter.DatasetSpec{
+		backscatter.JPDitl(), backscatter.BPostDitl(), backscatter.BLong(),
+		backscatter.BMultiYear(), backscatter.MDitl(), backscatter.MDitl2015(),
+		backscatter.MSampled(),
+	} {
+		d := s.Get(spec)
+		rev := d.ReverseQueries()
+		typ := "root"
+		op := "B-Root"
+		switch spec.Authority {
+		case "jp":
+			typ, op = "ccTLD", "JP-DNS"
+		case "m-root":
+			op = "M-Root"
+		}
+		sampling := "no"
+		if spec.Sample > 1 {
+			sampling = fmt.Sprintf("1:%d", spec.Sample)
+		}
+		secs := float64(spec.Duration)
+		t.rowf("%s\t%s\t%s\t%s\t%s\t%s\t%.2e\t%.2e\t%.3f",
+			typ, spec.Name, op, spec.Start.String(), fmtDur(spec.Duration), sampling,
+			float64(rev)*forwardRatio(spec.Authority), float64(rev), float64(rev)/secs)
+	}
+	return header("Table I: DNS datasets (simulated; volumes at simulation scale)") + t.String()
+}
+
+func fmtDur(d simtime.Duration) string {
+	switch {
+	case d%simtime.Day == 0 && d >= 30*simtime.Day:
+		return fmt.Sprintf("%.1f months", float64(d)/float64(30*simtime.Day))
+	case d%simtime.Day == 0:
+		return fmt.Sprintf("%d days", d/simtime.Day)
+	default:
+		return fmt.Sprintf("%d hours", d/simtime.Hour)
+	}
+}
+
+// Table2 regenerates the dynamic-feature case studies.
+func Table2(s *Store) string {
+	d := s.Get(backscatter.JPDitl())
+	t := &tw{}
+	t.row("case", "queries/querier", "global entropy", "local entropy", "queriers/country")
+	for _, cs := range caseStudies(d) {
+		v, ok := d.Whole().Vector(cs.addr)
+		if !ok {
+			continue
+		}
+		t.rowf("%s\t%.1f\t%.2f\t%.2f\t%.4f", cs.name,
+			v.Dynamic(features.DynQueriesPerQuerier),
+			v.Dynamic(features.DynGlobalEntropy),
+			v.Dynamic(features.DynLocalEntropy),
+			v.Dynamic(features.DynQueriersPerCountry))
+	}
+	return header("Table II: dynamic features for case studies (Dataset: JP-ditl)") + t.String()
+}
+
+// Table3 regenerates the validation table: datasets × algorithms.
+func Table3(s *Store) string {
+	runs := 15
+	if s.Heavy {
+		runs = 50
+	}
+	t := &tw{}
+	t.row("dataset", "algorithm", "accuracy", "precision", "recall", "F1-score")
+	for _, spec := range []backscatter.DatasetSpec{
+		backscatter.JPDitl(), backscatter.BPostDitl(), backscatter.MDitl(), backscatter.MSampled(),
+	} {
+		d := s.Get(spec)
+		for _, alg := range []backscatter.Algorithm{backscatter.AlgCART, backscatter.AlgRandomForest, backscatter.AlgSVM} {
+			res, err := d.Validate(alg, 0.6, runs)
+			if err != nil {
+				t.rowf("%s\t%s\t(untrainable: %v)", spec.Name, alg, err)
+				continue
+			}
+			t.rowf("%s\t%s\t%.2f (%.2f)\t%.2f (%.2f)\t%.2f (%.2f)\t%.2f (%.2f)",
+				spec.Name, alg,
+				res.Accuracy.Mean, res.Accuracy.Std,
+				res.Precision.Mean, res.Precision.Std,
+				res.Recall.Mean, res.Recall.Std,
+				res.F1.Mean, res.F1.Std)
+		}
+	}
+	return header(fmt.Sprintf("Table III: validation against labeled ground truth (%d runs, 60/40 splits)", runs)) + t.String()
+}
+
+// Table4 regenerates the discriminative-feature ranking.
+func Table4(s *Store) string {
+	t := &tw{}
+	t.row("rank", "JP-ditl feature", "importance", "M-ditl feature", "importance")
+	jpN, jpV, err1 := s.Get(backscatter.JPDitl()).FeatureImportance(6)
+	mN, mV, err2 := s.Get(backscatter.MDitl()).FeatureImportance(6)
+	if err1 != nil || err2 != nil {
+		return header("Table IV") + fmt.Sprintf("untrainable: %v %v\n", err1, err2)
+	}
+	for i := 0; i < 6; i++ {
+		t.rowf("%d\t%s\t%.3f\t%s\t%.3f", i+1, jpN[i], jpV[i], mN[i], mV[i])
+	}
+	return header("Table IV: top discriminative features (classifier: RF, Gini importance)") + t.String()
+}
+
+// classifyWhole trains the preferred classifier and labels the whole span.
+func classifyWhole(d *backscatter.Dataset) (map[backscatter.Addr]backscatter.Class, error) {
+	m, err := d.TrainClassifier(1)
+	if err != nil {
+		return nil, err
+	}
+	return m.ClassifyAll(d.Whole()), nil
+}
+
+// cumulativeClasses unions weekly classifications by per-originator
+// majority vote — the paper's M-sampled counting.
+func cumulativeClasses(d *backscatter.Dataset) map[backscatter.Addr]backscatter.Class {
+	weekly := d.ClassifyIntervals()
+	votes := make(map[backscatter.Addr][activity.NumClasses]int)
+	for _, wk := range weekly {
+		for a, c := range wk {
+			v := votes[a]
+			v[c]++
+			votes[a] = v
+		}
+	}
+	out := make(map[backscatter.Addr]backscatter.Class, len(votes))
+	for a, v := range votes {
+		best, bestN := 0, -1
+		for cls, n := range v {
+			if n > bestN {
+				best, bestN = cls, n
+			}
+		}
+		out[a] = activity.Class(best)
+	}
+	return out
+}
+
+// Table5 regenerates per-class originator counts for all datasets.
+func Table5(s *Store) string {
+	t := &tw{}
+	head := []string{"data"}
+	for _, c := range classOrder() {
+		head = append(head, c.String())
+	}
+	head = append(head, "total")
+	t.row(head...)
+	for _, spec := range []backscatter.DatasetSpec{
+		backscatter.JPDitl(), backscatter.BPostDitl(), backscatter.MDitl(), backscatter.MSampled(),
+	} {
+		d := s.Get(spec)
+		var classes map[backscatter.Addr]backscatter.Class
+		if spec.Name == "M-sampled" {
+			classes = cumulativeClasses(d)
+		} else {
+			var err error
+			classes, err = classifyWhole(d)
+			if err != nil {
+				t.row(spec.Name, "(untrainable)")
+				continue
+			}
+		}
+		counts := backscatter.ClassCounts(classes)
+		row := []string{spec.Name}
+		total := 0
+		for _, c := range classOrder() {
+			row = append(row, fmt.Sprintf("%d", counts[c]))
+			total += counts[c]
+		}
+		row = append(row, fmt.Sprintf("%d", total))
+		t.row(row...)
+	}
+	return header("Table V: number of originators in each class (classifier: RF)") + t.String()
+}
+
+// Table6 regenerates the labeled ground-truth sizes.
+func Table6(s *Store) string {
+	t := &tw{}
+	head := []string{"dataset"}
+	for _, c := range classOrder() {
+		head = append(head, c.String())
+	}
+	head = append(head, "total")
+	t.row(head...)
+	for _, spec := range []backscatter.DatasetSpec{
+		backscatter.JPDitl(), backscatter.BPostDitl(), backscatter.MDitl(), backscatter.MSampled(),
+	} {
+		d := s.Get(spec)
+		counts := d.Labels.Counts()
+		row := []string{spec.Name}
+		for _, c := range classOrder() {
+			row = append(row, fmt.Sprintf("%d", counts[c]))
+		}
+		row = append(row, fmt.Sprintf("%d", d.Labels.Total()))
+		t.row(row...)
+	}
+	return header("Table VI: labeled ground-truth examples per class") + t.String()
+}
+
+// topOriginators renders Table VII/VIII-style rows for a dataset.
+func topOriginators(d *backscatter.Dataset, n int) string {
+	classes, err := classifyWhole(d)
+	if err != nil {
+		return fmt.Sprintf("untrainable: %v\n", err)
+	}
+	t := &tw{}
+	t.row("rank", "originator", "queriers", "TTL", "DarkIP", "BLS", "BLO", "class", "truth")
+	vs := d.Whole().Vectors
+	if n > len(vs) {
+		n = len(vs)
+	}
+	for i := 0; i < n; i++ {
+		v := vs[i]
+		ev := d.OriginatorEvidence(v.Originator)
+		cls := classes[v.Originator]
+		truth := "-"
+		if tr, ok := d.World.Truth(v.Originator); ok {
+			truth = tr.Class.String()
+			if tr.Port != "" {
+				truth += "/" + tr.Port
+			}
+		}
+		t.rowf("%d\t%s\t%d\t%s\t%d\t%d\t%d\t%s\t%s",
+			i+1, v.Originator, v.Queriers, ttlFlavor(d.World.ProfileOf(v.Originator)),
+			ev.DarknetHits, ev.SpamLists, ev.OtherLists, cls, truth)
+	}
+	return t.String()
+}
+
+// ttlFlavor renders the TTL column of Tables VII/VIII: a duration, a
+// dagger-style negative-cache marker, or F for unreachable.
+func ttlFlavor(p dnssim.OriginatorProfile) string {
+	switch {
+	case p.FinalUnreachable:
+		return "F"
+	case !p.HasName:
+		return "neg:" + fmtTTL(p.NegTTL)
+	default:
+		return fmtTTL(p.TTL)
+	}
+}
+
+func fmtTTL(d simtime.Duration) string {
+	switch {
+	case d >= simtime.Day:
+		return fmt.Sprintf("%dd", d/simtime.Day)
+	case d >= simtime.Hour:
+		return fmt.Sprintf("%dh", d/simtime.Hour)
+	default:
+		return fmt.Sprintf("%dm", d/simtime.Minute)
+	}
+}
+
+// Table7 regenerates the top JP-ditl originators.
+func Table7(s *Store) string {
+	return header("Table VII: most prolific originators (Dataset: JP-ditl)") +
+		topOriginators(s.Get(backscatter.JPDitl()), 30)
+}
+
+// Table8 regenerates the top M-ditl originators.
+func Table8(s *Store) string {
+	return header("Table VIII: most prolific originators (Dataset: M-ditl)") +
+		topOriginators(s.Get(backscatter.MDitl()), 30)
+}
+
+// Teams regenerates the §VI-B coordinated-scanner analysis.
+func Teams(s *Store) string {
+	d := s.Get(backscatter.MSampled())
+	classes := cumulativeClasses(d)
+	st := backscatter.ScannerTeams(classes, 4)
+	t := &tw{}
+	t.rowf("unique scan originators\t%d", st.UniqueScanners)
+	t.rowf("distinct /24 blocks with scanners\t%d", st.Blocks)
+	t.rowf("blocks with ≥4 originators\t%d", st.BlocksWithNPlus)
+	t.rowf("  all same class (likely teams)\t%d", st.SameClassBlocks)
+	t.rowf("  mixed classes\t%d", st.MixedClassBlocks)
+
+	// Compare against planted ground-truth teams.
+	planted := make(map[int]int)
+	for _, tr := range d.World.TruthMap() {
+		if tr.Team != 0 {
+			planted[tr.Team]++
+		}
+	}
+	big := 0
+	for _, n := range planted {
+		if n >= 4 {
+			big++
+		}
+	}
+	t.rowf("planted teams with ≥4 members (truth)\t%d", big)
+	return header("Scanner teams by /24 block (§VI-B, Dataset: M-sampled)") + t.String()
+}
+
+// caseStudy identifies a named exemplar originator.
+type caseStudy struct {
+	name string
+	addr backscatter.Addr
+}
+
+// caseStudies picks the six case-study originators of §IV-A from a
+// dataset: two scanners (preferring icmp and ssh, falling back to the two
+// largest scanners of any port), an ad-tracker, a cdn, a mail server, and
+// a spammer — each the largest of its kind.
+func caseStudies(d *backscatter.Dataset) []caseStudy {
+	var out []caseStudy
+	taken := map[backscatter.Addr]bool{}
+	add := func(name string, cls backscatter.Class, port string) bool {
+		for _, v := range d.Whole().Vectors {
+			tr, ok := d.World.Truth(v.Originator)
+			if !ok || tr.Class != cls || taken[v.Originator] {
+				continue
+			}
+			if port != "" && tr.Port != port {
+				continue
+			}
+			if name == "" {
+				name = "scan-" + tr.Port
+			}
+			taken[v.Originator] = true
+			out = append(out, caseStudy{name: name, addr: v.Originator})
+			return true
+		}
+		return false
+	}
+	if !add("scan-icmp", backscatter.Scan, "icmp") {
+		add("", backscatter.Scan, "")
+	}
+	if !add("scan-ssh", backscatter.Scan, "tcp22") {
+		add("", backscatter.Scan, "")
+	}
+	add("ad-track", backscatter.AdTracker, "")
+	add("cdn", backscatter.CDN, "")
+	add("mail", backscatter.Mail, "")
+	add("spam", backscatter.Spam, "")
+	return out
+}

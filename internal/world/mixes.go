@@ -1,0 +1,108 @@
+package world
+
+import (
+	"dnsbackscatter/internal/activity"
+	"dnsbackscatter/internal/qname"
+)
+
+// classMix is the distribution of querier name categories triggered by one
+// application class — who reacts to the activity. These are the shapes of
+// Figure 3: scanning wakes shared resolvers, firewalls, and home gateways;
+// mail and spam wake mail infrastructure (spam with more anti-spam
+// middleboxes); CDN traffic is resolved mostly by home-side resolvers.
+// Weights are normalized at init.
+type classMix [qname.NumCategories]float64
+
+var classMixes [activity.NumClasses]classMix
+
+func init() {
+	set := func(cls activity.Class, pairs map[qname.Category]float64) {
+		var m classMix
+		total := 0.0
+		for cat, wgt := range pairs {
+			m[cat] = wgt
+			total += wgt
+		}
+		for i := range m {
+			m[i] /= total
+		}
+		classMixes[cls] = m
+	}
+
+	set(activity.Scan, map[qname.Category]float64{
+		qname.NS: 28, qname.Home: 20, qname.NXDomain: 17, qname.Other: 13,
+		qname.FW: 9, qname.Unreach: 6, qname.Mail: 3, qname.WWW: 2,
+		qname.AWS: 1, qname.Antispam: 0.5, qname.NTP: 0.5,
+	})
+	set(activity.AdTracker, map[qname.Category]float64{
+		qname.NS: 38, qname.Home: 17, qname.NXDomain: 15, qname.Other: 14,
+		qname.FW: 5, qname.Unreach: 5, qname.Mail: 3, qname.WWW: 2, qname.AWS: 1,
+	})
+	set(activity.CDN, map[qname.Category]float64{
+		qname.Home: 42, qname.NS: 22, qname.NXDomain: 12, qname.Other: 12,
+		qname.Unreach: 5, qname.FW: 3, qname.Mail: 2, qname.WWW: 2,
+	})
+	set(activity.Mail, map[qname.Category]float64{
+		qname.Mail: 45, qname.NS: 17, qname.NXDomain: 11, qname.Other: 10,
+		qname.Home: 8, qname.Unreach: 4, qname.FW: 2, qname.WWW: 2,
+		qname.Antispam: 1,
+	})
+	set(activity.Spam, map[qname.Category]float64{
+		qname.Mail: 38, qname.NS: 16, qname.NXDomain: 15, qname.Home: 11,
+		qname.Other: 9, qname.FW: 5, qname.Antispam: 3, qname.Unreach: 3,
+	})
+	set(activity.Crawler, map[qname.Category]float64{
+		qname.NS: 30, qname.Home: 24, qname.NXDomain: 15, qname.Other: 14,
+		qname.FW: 8, qname.Unreach: 4, qname.WWW: 3, qname.AWS: 2,
+	})
+	set(activity.DNSServer, map[qname.Category]float64{
+		qname.NS: 50, qname.Other: 15, qname.NXDomain: 12, qname.Home: 10,
+		qname.FW: 5, qname.Unreach: 5, qname.Mail: 3,
+	})
+	set(activity.NTP, map[qname.Category]float64{
+		qname.NS: 35, qname.Home: 25, qname.NXDomain: 15, qname.Other: 13,
+		qname.FW: 7, qname.Unreach: 5,
+	})
+	set(activity.P2P, map[qname.Category]float64{
+		qname.Home: 45, qname.NXDomain: 20, qname.NS: 15, qname.Other: 12,
+		qname.Unreach: 5, qname.FW: 3,
+	})
+	set(activity.Push, map[qname.Category]float64{
+		qname.Home: 35, qname.NS: 30, qname.NXDomain: 15, qname.Other: 12,
+		qname.Unreach: 5, qname.FW: 3,
+	})
+	set(activity.Cloud, map[qname.Category]float64{
+		qname.NS: 30, qname.Home: 24, qname.NXDomain: 14, qname.Other: 13,
+		qname.WWW: 6, qname.FW: 4, qname.Unreach: 4, qname.AWS: 3,
+		qname.Google: 2,
+	})
+	set(activity.Update, map[qname.Category]float64{
+		qname.Home: 40, qname.NS: 25, qname.NXDomain: 15, qname.Other: 12,
+		qname.FW: 4, qname.Unreach: 4,
+	})
+}
+
+// drawCategory picks a querier category from a mix using a uniform draw in
+// [0, 1).
+func drawCategory(m *classMix, u float64) qname.Category {
+	acc := 0.0
+	for cat := qname.Category(0); cat < qname.NumCategories; cat++ {
+		acc += m[cat]
+		if u < acc {
+			return cat
+		}
+	}
+	return qname.Other
+}
+
+// blendMix interpolates between two class mixes. Campaigns blend their
+// class's canonical mix with a random other class's (weight lambda), which
+// creates the within-class variance and between-class overlap that keeps
+// classification in the paper's 70-80% band rather than at 100%.
+func blendMix(base, other *classMix, lambda float64) classMix {
+	var out classMix
+	for i := range out {
+		out[i] = (1-lambda)*base[i] + lambda*other[i]
+	}
+	return out
+}

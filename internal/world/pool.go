@@ -1,0 +1,198 @@
+package world
+
+import (
+	"math"
+
+	"dnsbackscatter/internal/dnssim"
+	"dnsbackscatter/internal/geo"
+	"dnsbackscatter/internal/ipaddr"
+	"dnsbackscatter/internal/qname"
+	"dnsbackscatter/internal/rng"
+	"dnsbackscatter/internal/simtime"
+)
+
+// Querier is one reacting party: the resolver that contacts authorities on
+// behalf of targets (a shared ISP cache, a self-resolving mail server, a
+// firewall doing log lookups, ...).
+type Querier struct {
+	Addr     ipaddr.Addr
+	Category qname.Category
+	Name     string // reverse name; empty for NXDomain/Unreach
+	Country  string
+	Resolver *dnssim.Resolver
+}
+
+// poolKey identifies a querier slot by (category, country, popularity
+// rank), packed for cheap hashing on the per-touch hot path.
+type poolKey struct {
+	cat     qname.Category
+	country int // index into geo.Countries
+	rank    int
+}
+
+// querierPool lazily materializes the world's querier population. A slot's
+// querier is a pure function of (world seed, category, country, rank), so
+// pools are reproducible regardless of materialization order, and the same
+// target always reaches the same querier.
+type querierPool struct {
+	geo          *geo.Registry
+	seed         uint64
+	ranks        int
+	zipfS        float64
+	qminFraction float64
+
+	byKey  map[poolKey]*Querier
+	byAddr map[ipaddr.Addr]*Querier
+}
+
+func newQuerierPool(g *geo.Registry, src *rng.Source, ranks int, zipfS float64) *querierPool {
+	return &querierPool{
+		geo:    g,
+		seed:   src.Stream("querier-pool").Uint64(),
+		ranks:  ranks,
+		zipfS:  zipfS,
+		byKey:  make(map[poolKey]*Querier),
+		byAddr: make(map[ipaddr.Addr]*Querier),
+	}
+}
+
+func mix64(a, b uint64) uint64 {
+	z := a ^ (b+0x9e3779b97f4a7c15)*0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 30)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// get returns the querier for a slot, creating it on first use.
+func (p *querierPool) get(k poolKey) *Querier {
+	if q, ok := p.byKey[k]; ok {
+		return q
+	}
+	st := rng.New(mix64(p.seed, mix64(uint64(k.cat)<<32|uint64(k.rank), uint64(k.country)+0x1b3)))
+
+	// Draw an address in the country, avoiding collisions with already
+	// materialized queriers (two slots must stay distinguishable).
+	var addr ipaddr.Addr
+	for i := 0; ; i++ {
+		a, ok := p.geo.RandomAddrIn(geo.CountryCode(k.country), st)
+		if !ok {
+			a = ipaddr.Addr(st.Uint64())
+		}
+		if _, taken := p.byAddr[a]; !taken || i >= 32 {
+			addr = a
+			break
+		}
+	}
+
+	gen := qname.NewGenerator(st)
+	name := gen.Name(k.cat, addr, p.geo.CCTLD(addr))
+
+	// Popular slots (low rank) and shared resolvers (NS category) carry
+	// more background traffic, keeping the upper reverse tree warm.
+	base := 0.10
+	if k.cat == qname.NS {
+		base = 0.55
+	}
+	popularity := 1 / (1 + float64(k.rank)/50)
+	busy := base + 0.4*popularity
+	if busy > 0.97 {
+		busy = 0.97
+	}
+
+	q := &Querier{
+		Addr:     addr,
+		Category: k.cat,
+		Name:     name,
+		Country:  geo.CountryCode(k.country),
+		Resolver: dnssim.NewResolver(addr, busy, preferM(p.geo.Region(addr)), 2048, rng.New(st.Uint64())),
+	}
+	// Some queriers ignore DNS timeout rules and re-query aggressively
+	// (§III-C). Firewalls and home gear logging per connection are the
+	// usual offenders; shared resolvers and real mail servers cache
+	// properly.
+	violator := 0.25
+	switch k.cat {
+	case qname.NS:
+		violator = 0.03
+	case qname.Mail, qname.Antispam:
+		violator = 0.10
+	case qname.FW:
+		violator = 0.55
+	case qname.Home:
+		violator = 0.45
+	}
+	if st.Bool(violator) {
+		q.Resolver.MaxPTRTTL = simtime.Duration(60 + st.Intn(240))
+		q.Resolver.RetransmitProb = 0.35
+	}
+	if p.qminFraction > 0 && st.Bool(p.qminFraction) {
+		q.Resolver.QNameMin = true
+	}
+	p.byKey[k] = q
+	p.byAddr[addr] = q
+	return q
+}
+
+// preferM maps a querier's region to its probability of reaching M-Root
+// (anycast in Asia/Europe/NA) rather than B-Root (US west coast only).
+func preferM(region string) float64 {
+	switch region {
+	case "asia":
+		return 0.85
+	case "oceania":
+		return 0.7
+	case "europe":
+		return 0.6
+	case "africa":
+		return 0.55
+	case "south-america":
+		return 0.35
+	default: // north-america
+		return 0.25
+	}
+}
+
+// forTarget maps a touched target to its querier. The category comes from
+// the originator's campaign mix, keyed by (originator, target) so that
+// re-touching a target reaches the same querier; the popularity rank is
+// keyed by the target alone, so shared resolvers absorb many targets
+// across campaigns.
+func (p *querierPool) forTarget(orig ipaddr.Addr, mix *classMix, target ipaddr.Addr) *Querier {
+	h := mix64(p.seed^uint64(orig), uint64(target))
+	u := float64(h>>11) / (1 << 53)
+	cat := drawCategory(mix, u)
+
+	country := p.geo.CountryIndex(target)
+	rank := p.zipfRank(mix64(mix64(p.seed, uint64(target)), 0xabcd))
+	return p.get(poolKey{cat: cat, country: country, rank: rank})
+}
+
+// zipfRank draws a Zipf(s)-distributed rank in [0, ranks) from a hash. The
+// inverse-CDF of the continuous power law gives rank ~ u^{-1/(s-1)};
+// out-of-range draws re-hash (rejection), preserving the tail shape.
+func (p *querierPool) zipfRank(h uint64) int {
+	for i := 0; i < 64; i++ {
+		u := float64(h>>11) / (1 << 53)
+		if u == 0 {
+			u = 1e-12
+		}
+		r := int(math.Pow(u, -1/(p.zipfS-1))) - 1
+		if r < p.ranks {
+			return r
+		}
+		h = mix64(h, uint64(i)+1)
+	}
+	return p.ranks - 1
+}
+
+// nameOf resolves a querier address back to its reverse name. Unknown
+// addresses (never materialized) report as having no name.
+func (p *querierPool) nameOf(a ipaddr.Addr) (string, bool) {
+	q, ok := p.byAddr[a]
+	if !ok {
+		return "", false
+	}
+	return q.Name, q.Category == qname.Unreach
+}
+
+// size returns how many queriers have been materialized.
+func (p *querierPool) size() int { return len(p.byKey) }

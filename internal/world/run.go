@@ -1,0 +1,275 @@
+package world
+
+import (
+	"math"
+
+	"dnsbackscatter/internal/activity"
+	"dnsbackscatter/internal/dnssim"
+	"dnsbackscatter/internal/ipaddr"
+	"dnsbackscatter/internal/qname"
+	"dnsbackscatter/internal/rng"
+	"dnsbackscatter/internal/simtime"
+)
+
+// pickTarget is the TargetFunc campaigns use: global draws cover the whole
+// allocated space, local draws stay in the campaign's home country.
+func (w *World) pickTarget(global bool, home string, st *rng.Stream) ipaddr.Addr {
+	if !global {
+		if a, ok := w.Geo.RandomAddrIn(home, st); ok {
+			return a
+		}
+	}
+	return ipaddr.Addr(st.Uint64())
+}
+
+// touch routes one activity event through the reacting querier's resolver,
+// producing backscatter at whichever authorities see the lookup. Scanning
+// and misbehaving-P2P touches also feed the darknet: each touch stands for
+// a much larger raw probe volume, thinned at the darknet's space fraction.
+func (w *World) touch(c *activity.Campaign, e activity.Event) {
+	mix := w.mixes[c.Originator]
+	q := w.pool.forTarget(c.Originator, &mix, e.Target)
+	w.Hier.Resolve(q.Resolver, c.Originator, e.Time)
+	// TTL-violating queriers re-resolve while handling one event (log
+	// flushes, per-connection lookups); their repeats are what push the
+	// paper's queries-per-querier to 3-5 for hammering activity.
+	if ttl := q.Resolver.MaxPTRTTL; ttl > 0 {
+		end := w.Cfg.Start.Add(w.Cfg.Duration)
+		requeries := 1
+		if q.Category == qname.FW || q.Category == qname.Home {
+			requeries = 3 // per-connection log lookups
+		}
+		for k := 1; k <= requeries; k++ {
+			rt := e.Time.Add(simtime.Duration(k) * (ttl + 30))
+			if !rt.Before(end) {
+				break
+			}
+			w.Hier.Resolve(q.Resolver, c.Originator, rt)
+		}
+	}
+	if w.Dark != nil {
+		switch c.Class {
+		case activity.Scan:
+			raw := w.Cfg.RawProbesPerTouch
+			if raw <= 0 {
+				raw = 2000
+			}
+			w.Dark.ObserveThinned(c.Originator, raw, w.darkSt)
+		case activity.P2P:
+			raw := w.Cfg.RawProbesPerTouch / 20
+			if raw <= 0 {
+				raw = 100
+			}
+			w.Dark.ObserveThinned(c.Originator, raw, w.darkSt)
+		default:
+			w.Dark.Observe(c.Originator, e.Target)
+		}
+	}
+}
+
+// profileForClass flavors an originator's reverse-DNS posture by class,
+// echoing the TTL/nxdomain/unreachable patterns of Tables VII and VIII
+// (spammers on home-style or missing names, many scanners with dead or
+// absent reverse zones, ad-trackers and CDNs on short TTLs).
+func (w *World) profileForClass(cls activity.Class, orig ipaddr.Addr, st *rng.Stream) dnssim.OriginatorProfile {
+	name := "origin-" + orig.String() + "." + w.Geo.CCTLD(orig)
+	mk := func(ttl simtime.Duration) dnssim.OriginatorProfile {
+		return dnssim.OriginatorProfile{HasName: true, Name: name, TTL: ttl, NegTTL: ttl / 2}
+	}
+	switch cls {
+	case activity.Spam:
+		switch {
+		case st.Bool(0.55):
+			return mk(simtime.Duration(8+st.Intn(17)) * simtime.Hour)
+		case st.Bool(0.6):
+			return dnssim.OriginatorProfile{NegTTL: simtime.Duration(10+st.Intn(50)) * simtime.Minute}
+		default:
+			return mk(simtime.Duration(10+st.Intn(50)) * simtime.Minute)
+		}
+	case activity.Scan:
+		switch {
+		case st.Bool(0.4):
+			return dnssim.OriginatorProfile{NegTTL: simtime.Duration(1+st.Intn(48)) * simtime.Hour}
+		case st.Bool(0.4):
+			return dnssim.OriginatorProfile{FinalUnreachable: true}
+		default:
+			return mk(simtime.Duration(1+st.Intn(2)) * simtime.Day)
+		}
+	case activity.AdTracker:
+		return mk(simtime.Duration(10+st.Intn(35)) * simtime.Minute)
+	case activity.CDN:
+		if st.Bool(0.3) {
+			return dnssim.OriginatorProfile{FinalUnreachable: true} // Akamai-style hidden edges
+		}
+		return mk(simtime.Duration(1+st.Intn(10)) * simtime.Minute)
+	default:
+		return mk(simtime.Duration(1+st.Intn(24)) * simtime.Hour)
+	}
+}
+
+// spawn creates one campaign (and its team-mates for coordinated scans),
+// registering ground truth and the originator's DNS profile.
+func (w *World) spawn(cls activity.Class, start simtime.Time, port string, maxEnd simtime.Time) {
+	st := w.spawnSt
+	home := w.homeCountry(st)
+	if cls == activity.Update {
+		home = "jp" // the paper's update services are JP vendor hosts
+	}
+	orig := w.originatorIn(home, st)
+	c := activity.NewCampaign(cls, orig, start, home, st)
+	c.TouchesPerHour *= w.Cfg.RateScale
+	if port != "" {
+		c.Port = port
+	}
+	if maxEnd != 0 && c.End.After(maxEnd) {
+		c.End = maxEnd
+	}
+
+	team := 0
+	if cls == activity.Scan && st.Bool(w.Cfg.Teams) {
+		team = w.nextTeam
+		w.nextTeam++
+		// Coordinated scanning from one /24: a handful to >100 members
+		// (§VI-C observes a 140-address ssh team). Cap relative to the
+		// steady-state population so one team cannot swamp a downscaled
+		// world's trend lines.
+		size := 3 + int(st.Pareto(3, 1.3))
+		if cap := 2*w.Cfg.ClassPopulation[activity.Scan] + 4; size > cap {
+			size = cap
+		}
+		if size > 100 {
+			size = 100
+		}
+		base := ipaddr.NewPrefix(orig, 24)
+		for i := 0; i < size; i++ {
+			member := base.Nth(uint64(st.Intn(256)))
+			if _, taken := w.truth[member]; taken {
+				continue
+			}
+			mc := activity.NewCampaign(cls, member, start, home, st)
+			// Team members mostly probe below the founder's rate; only a
+			// fraction of a real team clears the analyzability bar in any
+			// one week.
+			mc.TouchesPerHour = c.TouchesPerHour * 0.4 * (0.25 + st.Float64())
+			mc.Port = c.Port
+			mc.Team = team
+			mc.End = c.End
+			if maxEnd != 0 && mc.End.After(maxEnd) {
+				mc.End = maxEnd
+			}
+			w.register(mc, st)
+		}
+	}
+	c.Team = team
+	w.register(c, st)
+}
+
+func (w *World) register(c *activity.Campaign, st *rng.Stream) {
+	w.Campaigns = append(w.Campaigns, c)
+	w.truth[c.Originator] = Truth{Class: c.Class, Port: c.Port, Team: c.Team}
+	w.profiles[c.Originator] = w.profileForClass(c.Class, c.Originator, st)
+	// Each campaign reacts through a slightly different querier
+	// population: blend toward one random other class.
+	other := activity.Class(st.Intn(int(activity.NumClasses)))
+	lambda := 0.1 + st.Float64()*0.5
+	w.mixes[c.Originator] = blendMix(&classMixes[c.Class], &classMixes[other], lambda)
+}
+
+// Run simulates the configured span, filling every attached sensor. It is
+// idempotent: a second call is a no-op.
+func (w *World) Run() {
+	if w.ran {
+		return
+	}
+	w.ran = true
+
+	// Initial population. Exponential lifetimes are memoryless, so fresh
+	// spawns at t0 have exactly the steady-state residual-lifetime
+	// distribution; the birth process below maintains the population.
+	for cls := activity.Class(0); cls < activity.NumClasses; cls++ {
+		for i := 0; i < w.Cfg.ClassPopulation[cls]; i++ {
+			w.spawn(cls, w.Cfg.Start, "", 0)
+		}
+	}
+
+	end := w.Cfg.Start.Add(w.Cfg.Duration)
+	var events []activity.Event
+	for day := w.Cfg.Start; day.Before(end); day = day.Add(simtime.Day) {
+		dayEnd := day.Add(simtime.Day)
+		if end.Before(dayEnd) {
+			dayEnd = end
+		}
+
+		if day != w.Cfg.Start {
+			w.births(day, dayEnd)
+		}
+		for _, b := range w.Cfg.Bursts {
+			if !b.Start.Before(day) && b.Start.Before(dayEnd) {
+				w.burst(b)
+			}
+		}
+
+		for _, c := range w.Campaigns {
+			if !c.Overlaps(day, dayEnd) {
+				continue
+			}
+			events = c.EventsIn(day, dayEnd, w.pickTarget, events[:0])
+			for _, e := range events {
+				w.touch(c, e)
+			}
+		}
+	}
+}
+
+// births replaces departed campaigns to hold each class population steady.
+func (w *World) births(day, dayEnd simtime.Time) {
+	for cls := activity.Class(0); cls < activity.NumClasses; cls++ {
+		pop := w.Cfg.ClassPopulation[cls]
+		if pop == 0 {
+			continue
+		}
+		meanDays := float64(activity.Templates[cls].MeanLifetime) / float64(simtime.Day)
+		expected := float64(pop) / meanDays
+		n := poissonDraw(w.spawnSt, expected)
+		for i := 0; i < n; i++ {
+			at := day.Add(simtime.Duration(w.spawnSt.Intn(int(dayEnd.Sub(day)))))
+			w.spawn(cls, at, "", 0)
+		}
+	}
+}
+
+// burst injects the extra campaigns of a security-event reaction, with
+// lifetimes bounded by the burst window.
+func (w *World) burst(b Burst) {
+	for i := 0; i < b.Extra; i++ {
+		at := b.Start.Add(simtime.Duration(w.spawnSt.Float64() * 0.3 * float64(b.Duration)))
+		w.spawn(b.Class, at, b.Port, b.Start.Add(b.Duration))
+	}
+}
+
+// poissonDraw mirrors activity's internal sampler for the birth process.
+func poissonDraw(st *rng.Stream, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 30 {
+		n := int(math.Round(lambda + math.Sqrt(lambda)*st.NormFloat64()))
+		if n < 0 {
+			return 0
+		}
+		return n
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= st.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// QuerierPoolSize reports how many distinct queriers have been
+// materialized so far (diagnostics).
+func (w *World) QuerierPoolSize() int { return w.pool.size() }

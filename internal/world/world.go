@@ -1,0 +1,306 @@
+// Package world composes the substrates — geo registry, querier naming,
+// activity campaigns, and the DNS hierarchy — into a seeded synthetic
+// Internet that produces DNS backscatter.
+//
+// This package is the substitution for the paper's closed operational
+// traces (§III-G): instead of replaying JP-DNS/B-Root/M-Root captures, a
+// World simulates the generative process those captures recorded. Running
+// a world fills the attached sensors with (originator, querier, authority)
+// records; the world also retains ground truth (which originator ran which
+// class) that downstream packages use the way the paper used blacklists,
+// darknets, and manual curation.
+package world
+
+import (
+	"fmt"
+
+	"dnsbackscatter/internal/activity"
+	"dnsbackscatter/internal/darknet"
+	"dnsbackscatter/internal/dnssim"
+	"dnsbackscatter/internal/geo"
+	"dnsbackscatter/internal/ipaddr"
+	"dnsbackscatter/internal/rng"
+	"dnsbackscatter/internal/simtime"
+)
+
+// Burst injects extra campaigns over a window — Heartbleed-style reactions
+// to security events (§VI-C: scanning jumps ~25% after 2014-04-07).
+type Burst struct {
+	Class    activity.Class
+	Port     string // for scan bursts, e.g. "tcp443"
+	Start    simtime.Time
+	Duration simtime.Duration
+	Extra    int // additional concurrent campaigns at the burst peak
+}
+
+// Config parameterizes a world.
+type Config struct {
+	Seed     uint64
+	Start    simtime.Time
+	Duration simtime.Duration
+
+	// ClassPopulation is the steady-state number of concurrently active
+	// campaigns per class. Classes with 0 never appear.
+	ClassPopulation [activity.NumClasses]int
+
+	// RateScale multiplies every campaign's touch rate; long datasets
+	// use < 1 to keep event counts laptop-sized. Default 1.
+	RateScale float64
+
+	// JPShare is the probability a campaign's home country is jp,
+	// overriding the global weights (the paper's JP-ditl needs a strong
+	// population of jp-space originators). 0 uses geography alone.
+	JPShare float64
+
+	// QuerierRanks is the pool depth per (category, country). Default 4096.
+	QuerierRanks int
+	// ZipfS is the querier popularity exponent; unique queriers grow as
+	// draws^(1/ZipfS), giving Figure 4's sublinear footprint. Default 1.4.
+	ZipfS float64
+
+	// MSample is the M-Root sensor's sampling divisor (M-sampled is 10).
+	// 1 or 0 records everything.
+	MSample int
+
+	// Teams is the probability a new scan campaign spawns as a
+	// coordinated /24 team (§VI-B).
+	Teams float64
+
+	Bursts []Burst
+
+	// Hierarchy overrides dnssim caching parameters when non-zero.
+	Hierarchy dnssim.Config
+
+	// DarknetSlash8 places the paper's /17+/18 darknets in that /8 and
+	// enables darknet observation of scan/p2p raw probes. 0 disables.
+	DarknetSlash8 byte
+	// RawProbesPerTouch converts one reaction-producing touch into the
+	// raw probe volume behind it for darknet thinning. Default 2000 for
+	// scans, 100 for p2p.
+	RawProbesPerTouch float64
+
+	// QMinFraction is the share of resolvers performing QNAME
+	// minimization (RFC 7816); minimized lookups are invisible to root
+	// and national sensors. The paper's §VII flags this as a future
+	// constraint on backscatter; 0 matches the 2014-era measurements.
+	QMinFraction float64
+}
+
+// DefaultConfig returns a small world good for tests and examples: two
+// simulated days, a few dozen campaigns per major class.
+func DefaultConfig() Config {
+	var pop [activity.NumClasses]int
+	pop[activity.Spam] = 30
+	pop[activity.Scan] = 25
+	pop[activity.Mail] = 20
+	pop[activity.CDN] = 12
+	pop[activity.AdTracker] = 8
+	pop[activity.Cloud] = 8
+	pop[activity.Crawler] = 6
+	pop[activity.DNSServer] = 6
+	pop[activity.NTP] = 4
+	pop[activity.P2P] = 10
+	pop[activity.Push] = 5
+	pop[activity.Update] = 3
+	return Config{
+		Seed:            1,
+		Start:           simtime.Date(2014, 4, 15, 11, 0),
+		Duration:        simtime.Hours(50),
+		ClassPopulation: pop,
+		RateScale:       1,
+		JPShare:         0.25,
+		QuerierRanks:    4096,
+		ZipfS:           1.4,
+		MSample:         1,
+		Teams:           0.08,
+		Hierarchy:       dnssim.DefaultConfig(),
+	}
+}
+
+// Originator ground truth retained by the world.
+type Truth struct {
+	Class activity.Class
+	Port  string // scan port label, if any
+	Team  int    // scanner team id, 0 = none
+}
+
+// World is a runnable synthetic Internet.
+type World struct {
+	Cfg  Config
+	Geo  *geo.Registry
+	Hier *dnssim.Hierarchy
+
+	// Sensors. BRoot/MRoot always exist; National holds one sensor per
+	// country that was attached (jp by default).
+	BRoot    *dnssim.Sensor
+	MRoot    *dnssim.Sensor
+	National map[string]*dnssim.Sensor
+	Finals   map[uint16]*dnssim.Sensor
+
+	Campaigns []*activity.Campaign
+
+	// Dark is non-nil when Config.DarknetSlash8 is set; it accumulates
+	// the external scan evidence of Appendix A.
+	Dark *darknet.Darknet
+
+	pool     *querierPool
+	truth    map[ipaddr.Addr]Truth
+	mixes    map[ipaddr.Addr]classMix
+	profiles map[ipaddr.Addr]dnssim.OriginatorProfile
+	src      *rng.Source
+	spawnSt  *rng.Stream
+	darkSt   *rng.Stream
+	nextTeam int
+
+	ran bool
+}
+
+// New builds a world from cfg. Sensors are attached but empty until Run.
+func New(cfg Config) *World {
+	if cfg.RateScale <= 0 {
+		cfg.RateScale = 1
+	}
+	if cfg.QuerierRanks <= 0 {
+		cfg.QuerierRanks = 4096
+	}
+	if cfg.ZipfS <= 1.01 {
+		cfg.ZipfS = 1.4
+	}
+	if cfg.MSample < 1 {
+		cfg.MSample = 1
+	}
+	if cfg.Hierarchy == (dnssim.Config{}) {
+		cfg.Hierarchy = dnssim.DefaultConfig()
+	}
+	src := rng.NewSource(cfg.Seed)
+	g := geo.NewRegistry(cfg.Seed)
+	w := &World{
+		Cfg:      cfg,
+		Geo:      g,
+		National: make(map[string]*dnssim.Sensor),
+		Finals:   make(map[uint16]*dnssim.Sensor),
+		truth:    make(map[ipaddr.Addr]Truth),
+		mixes:    make(map[ipaddr.Addr]classMix),
+		profiles: make(map[ipaddr.Addr]dnssim.OriginatorProfile),
+		src:      src,
+		spawnSt:  src.Stream("spawn"),
+		nextTeam: 1,
+	}
+	if cfg.DarknetSlash8 != 0 {
+		w.Dark = darknet.NewPaperDarknets(cfg.DarknetSlash8)
+		w.darkSt = src.Stream("darknet")
+	}
+	w.Hier = dnssim.NewHierarchy(g, cfg.Hierarchy, w.profileFor)
+	end := cfg.Start.Add(cfg.Duration)
+	w.BRoot = dnssim.NewSensor("b-root", 1)
+	w.BRoot.End = end
+	w.MRoot = dnssim.NewSensor("m-root", cfg.MSample)
+	w.MRoot.End = end
+	w.Hier.AttachRoots(w.BRoot, w.MRoot)
+	w.AttachNational("jp")
+	w.pool = newQuerierPool(g, src, cfg.QuerierRanks, cfg.ZipfS)
+	w.pool.qminFraction = cfg.QMinFraction
+	return w
+}
+
+// AttachNational adds a sensor for one country's registry zone.
+func (w *World) AttachNational(country string) *dnssim.Sensor {
+	if s, ok := w.National[country]; ok {
+		return s
+	}
+	s := dnssim.NewSensor(country, 1)
+	s.End = w.Cfg.Start.Add(w.Cfg.Duration)
+	w.National[country] = s
+	w.Hier.AttachNational(country, s)
+	return s
+}
+
+// AttachFinal instruments the final authority of a /16 reverse zone.
+func (w *World) AttachFinal(slash16 uint16) *dnssim.Sensor {
+	if s, ok := w.Finals[slash16]; ok {
+		return s
+	}
+	s := dnssim.NewSensor(fmt.Sprintf("final-%04x", slash16), 1)
+	s.End = w.Cfg.Start.Add(w.Cfg.Duration)
+	w.Finals[slash16] = s
+	w.Hier.AttachFinal(slash16, s)
+	return s
+}
+
+// Truth returns the ground-truth record for an originator, if it ran a
+// campaign in this world.
+func (w *World) Truth(a ipaddr.Addr) (Truth, bool) {
+	t, ok := w.truth[a]
+	return t, ok
+}
+
+// TruthMap exposes the full ground truth (read-only by convention).
+func (w *World) TruthMap() map[ipaddr.Addr]Truth { return w.truth }
+
+// QuerierName returns the reverse name of a querier observed in the logs,
+// plus whether the querier's own reverse zone is unreachable. This is the
+// lookup the sensor performs when computing static features.
+func (w *World) QuerierName(a ipaddr.Addr) (name string, unreach bool) {
+	return w.pool.nameOf(a)
+}
+
+// QuerierCountry returns the country of a querier (used by spatial
+// features via the same geo registry the sensor would consult).
+func (w *World) QuerierCountry(a ipaddr.Addr) string { return w.Geo.Country(a) }
+
+// profileFor answers the hierarchy's profile queries: campaign originators
+// get class-flavored profiles assigned at spawn; everything else falls back
+// to the default distribution.
+func (w *World) profileFor(a ipaddr.Addr) dnssim.OriginatorProfile {
+	if p, ok := w.profiles[a]; ok {
+		return p
+	}
+	return dnssim.DefaultProfile(a)
+}
+
+// SetProfile overrides the reverse-DNS profile of one originator (the
+// controlled-scan driver sets TTL 0 on its prober).
+func (w *World) SetProfile(a ipaddr.Addr, p dnssim.OriginatorProfile) {
+	w.profiles[a] = p
+}
+
+// ProfileOf reports the reverse-DNS posture of an originator — the TTL /
+// nxdomain / unreachable flavor shown in the paper's Tables VII and VIII.
+func (w *World) ProfileOf(a ipaddr.Addr) dnssim.OriginatorProfile {
+	return w.profileFor(a)
+}
+
+// homeCountry draws a campaign's home country.
+func (w *World) homeCountry(st *rng.Stream) string {
+	if w.Cfg.JPShare > 0 && st.Bool(w.Cfg.JPShare) {
+		return "jp"
+	}
+	total := 0
+	for _, c := range geo.Countries {
+		total += c.Weight
+	}
+	pick := st.Intn(total)
+	for _, c := range geo.Countries {
+		if pick < c.Weight {
+			return c.Code
+		}
+		pick -= c.Weight
+	}
+	return "us"
+}
+
+// originatorIn draws an unused originator address in the given country.
+func (w *World) originatorIn(country string, st *rng.Stream) ipaddr.Addr {
+	for i := 0; i < 64; i++ {
+		a, ok := w.Geo.RandomAddrIn(country, st)
+		if !ok {
+			a = ipaddr.Addr(st.Uint64())
+		}
+		if _, taken := w.truth[a]; !taken {
+			return a
+		}
+	}
+	// Extremely unlikely at simulation scales; accept a collision.
+	a, _ := w.Geo.RandomAddrIn(country, st)
+	return a
+}

@@ -1,0 +1,55 @@
+package backscatter
+
+import (
+	"dnsbackscatter/internal/dnsserver"
+	"dnsbackscatter/internal/dnssim"
+)
+
+// Live deployment surface: run the paper's collection architecture over
+// real UDP sockets — authoritative reverse-DNS servers at any level of the
+// hierarchy, stub clients with retransmit behavior, and a caching
+// recursive resolver. See cmd/bsserve and examples/livehierarchy.
+type (
+	// OriginatorProfile is the reverse-DNS posture of one originator:
+	// PTR name and TTL, NXDomain, or an unreachable final authority.
+	OriginatorProfile = dnssim.OriginatorProfile
+	// AuthorityServer is a UDP authoritative server with a sensor sink.
+	AuthorityServer = dnsserver.Server
+	// AuthoritySink receives one record per observed reverse query.
+	AuthoritySink = dnsserver.Sink
+	// PTRClient is a stub resolver performing reverse lookups.
+	PTRClient = dnsserver.Client
+	// Recursor is a caching recursive resolver walking a live hierarchy.
+	Recursor = dnsserver.Recursor
+	// Delegation names the authoritative server for a child reverse zone.
+	Delegation = dnsserver.Delegation
+	// ScanTrace reports which hierarchy levels one resolution contacted.
+	ScanTrace = dnsserver.Trace
+)
+
+// ListenFinalAuthority starts a UDP final authority answering PTR queries
+// from profile (nil = a deterministic synthetic zone). Its sink observes
+// the backscatter of whatever activity drives lookups at it.
+func ListenFinalAuthority(addr, sensorName string, profile func(Addr) OriginatorProfile) (*AuthorityServer, error) {
+	var pf dnssim.ProfileFunc
+	if profile != nil {
+		pf = profile
+	}
+	return dnsserver.Listen(addr, sensorName, pf)
+}
+
+// ListenReferralAuthority starts a UDP referral server (a root or national
+// registry): pick returns the delegation covering each queried originator,
+// or false for undelegated space (answered NXDomain).
+func ListenReferralAuthority(addr, sensorName string, pick func(Addr) (Delegation, bool)) (*AuthorityServer, error) {
+	s, err := dnsserver.ListenHandler(addr, sensorName, nil)
+	if err != nil {
+		return nil, err
+	}
+	dnsserver.InstallReferralHandler(s, pick)
+	return s, nil
+}
+
+// NewRecursor returns a caching recursive resolver rooted at the given
+// server addresses.
+func NewRecursor(roots ...string) *Recursor { return dnsserver.NewRecursor(roots...) }
