@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"slices"
 	"strings"
 
 	backscatter "dnsbackscatter"
@@ -131,14 +132,23 @@ func writeQueriers(path string, d *backscatter.Dataset) error {
 	return nil
 }
 
-// writeTruth dumps "<addr>\t<class>\t<port>\t<team>" for every campaign.
+// writeTruth dumps "<addr>\t<class>\t<port>\t<team>" for every campaign,
+// in address order so identical seeds produce byte-identical files (map
+// iteration order would otherwise permute the rows run to run).
 func writeTruth(path string, d *backscatter.Dataset) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	for a, tr := range d.World.TruthMap() {
+	truth := d.World.TruthMap()
+	addrs := make([]ipaddr.Addr, 0, len(truth))
+	for a := range truth {
+		addrs = append(addrs, a)
+	}
+	slices.Sort(addrs)
+	for _, a := range addrs {
+		tr := truth[a]
 		if _, err := fmt.Fprintf(f, "%s\t%s\t%s\t%d\n", a, tr.Class, tr.Port, tr.Team); err != nil {
 			return err
 		}

@@ -1,0 +1,103 @@
+// Command bslint runs the project's static-analysis suite: the
+// determinism, locksafe, errcheck, and apidoc checks defined in
+// internal/lint. It prints one finding per line as
+//
+//	file:line:col: [check] message
+//
+// and exits nonzero when anything fires, so it slots directly into the
+// Makefile verify target next to go vet.
+//
+// Usage:
+//
+//	bslint [flags] [packages]
+//
+//	bslint ./...                    # whole module (the default)
+//	bslint -json ./internal/...     # machine-readable findings
+//	bslint -determinism=false ./... # disable one check
+//	bslint -list                    # show registered checks
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"dnsbackscatter/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("bslint", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	list := fs.Bool("list", false, "list registered checks and exit")
+	dir := fs.String("C", ".", "directory inside the module to lint")
+	enabled := map[string]*bool{}
+	for _, c := range lint.Checks() {
+		enabled[c.Name] = fs.Bool(c.Name, true, "enable the "+c.Name+" check: "+c.Doc)
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, c := range lint.Checks() {
+			fmt.Fprintf(stdout, "%-12s %s\n", c.Name, c.Doc)
+		}
+		return 0
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	mod, err := lint.LoadModule(*dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "bslint:", err)
+		return 2
+	}
+	pkgs, err := mod.Packages(patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "bslint:", err)
+		return 2
+	}
+
+	flags := make(map[string]bool, len(enabled))
+	for name, on := range enabled {
+		flags[name] = *on
+	}
+	findings := lint.Run(pkgs, flags)
+
+	if *jsonOut {
+		type jsonFinding struct {
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Col     int    `json:"col"`
+			Check   string `json:"check"`
+			Message string `json:"message"`
+		}
+		out := make([]jsonFinding, len(findings))
+		for i, f := range findings {
+			out[i] = jsonFinding{f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Check, f.Message}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(stderr, "bslint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "bslint: %d finding(s) across %d package(s)\n", len(findings), len(pkgs))
+		return 1
+	}
+	return 0
+}

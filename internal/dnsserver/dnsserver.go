@@ -41,8 +41,9 @@ type Server struct {
 	authority string
 
 	mu      sync.Mutex
-	handler Handler
-	sink    Sink
+	handler Handler             // guarded by mu
+	sink    Sink                // guarded by mu
+	clock   func() simtime.Time // guarded by mu
 
 	queries uint64 // atomic
 	dropped uint64 // atomic: unparseable or non-DNS datagrams
@@ -88,6 +89,7 @@ func ListenHandler(addr, authority string, h Handler) (*Server, error) {
 		conn:      conn,
 		handler:   h,
 		authority: authority,
+		clock:     simtime.Wall,
 		closed:    make(chan struct{}),
 	}
 	s.done.Add(1)
@@ -103,6 +105,16 @@ func (s *Server) SetSink(sink Sink) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.sink = sink
+}
+
+// SetClock replaces the record-timestamp source. Live deployments keep the
+// default simtime.Wall; simulations inject their explicit clock so served
+// traffic is timestamped in simulated seconds and replays are
+// deterministic.
+func (s *Server) SetClock(clock func() simtime.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.clock = clock
 }
 
 // Queries returns how many well-formed DNS queries arrived.
@@ -186,8 +198,11 @@ func (s *Server) record(orig ipaddr.Addr, peer *net.UDPAddr) *dnslog.Record {
 	if v4 := peer.IP.To4(); v4 != nil {
 		querier = ipaddr.FromOctets(v4[0], v4[1], v4[2], v4[3])
 	}
+	s.mu.Lock()
+	clock := s.clock
+	s.mu.Unlock()
 	return &dnslog.Record{
-		Time:       simtime.Time(time.Now().Unix()),
+		Time:       clock(),
 		Originator: orig,
 		Querier:    querier,
 		Authority:  s.authority,

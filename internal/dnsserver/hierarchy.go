@@ -277,7 +277,7 @@ func (c *Client) queryPTR(serverAddr string, addr ipaddr.Addr) (*dnswire.Message
 			return nil, sent, err
 		}
 		sent++
-		deadline := time.Now().Add(timeout)
+		deadline := simtime.WallDeadline(timeout)
 		for {
 			if err := conn.SetReadDeadline(deadline); err != nil {
 				return nil, sent, err

@@ -1,0 +1,164 @@
+// Package lint implements bslint, the project's static-analysis suite.
+//
+// The reproduction's validity rests on machine-checkable invariants —
+// determinism (no wall clock or global randomness outside sanctioned
+// bridges), lock discipline on shared state, and errors never silently
+// discarded — that ordinary review misses and go vet does not cover. Each
+// invariant is a Check registered here; cmd/bslint runs them over every
+// package in the module and fails the build on findings.
+//
+// The framework is stdlib-only: packages load through go/parser and
+// type-check through go/types, so checks see resolved types, not just
+// syntax. Findings may be suppressed with a trailing `//nolint:<check>`
+// comment on the offending line (or the line directly above it).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+// String formats a finding as "file:line:col: [check] message", the
+// grep-able shape editors and CI both understand.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Check, f.Message)
+}
+
+// Check is one analyzer: a named rule plus the function that applies it to
+// a loaded, type-checked package.
+type Check struct {
+	// Name identifies the check in output, flags, and nolint comments.
+	Name string
+	// Doc is a one-line description shown by bslint -list.
+	Doc string
+	// Run reports every violation in pkg.
+	Run func(pkg *Package) []Finding
+}
+
+// registry holds the built-in checks in registration order.
+var registry []Check
+
+// Register adds a check to the suite. Built-in checks register from their
+// init functions; tests may register extra ones.
+func Register(c Check) {
+	registry = append(registry, c)
+}
+
+// Checks returns the registered checks in registration order.
+func Checks() []Check {
+	out := make([]Check, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Run applies the enabled checks to each package and returns the surviving
+// findings sorted by position. enabled maps check name -> on/off; a name
+// absent from the map defaults to on. nolint suppressions are applied
+// before returning.
+func Run(pkgs []*Package, enabled map[string]bool) []Finding {
+	var all []Finding
+	for _, pkg := range pkgs {
+		sup := suppressions(pkg)
+		for _, c := range registry {
+			if on, ok := enabled[c.Name]; ok && !on {
+				continue
+			}
+			for _, f := range c.Run(pkg) {
+				f.Check = c.Name
+				if !sup.suppressed(f) {
+					all = append(all, f)
+				}
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i].Pos, all[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return all[i].Check < all[j].Check
+	})
+	return all
+}
+
+// nolintRe matches `//nolint` and `//nolint:det,locksafe` comment forms.
+var nolintRe = regexp.MustCompile(`^//\s*nolint(?::([\w,\- ]+))?`)
+
+// suppressionSet records, per file and line, which checks are muted.
+type suppressionSet map[string]map[int]map[string]bool
+
+// suppressions collects every nolint comment in the package. A comment
+// suppresses findings on its own line and on the line directly below, so
+// both trailing and standalone-preceding placements work.
+func suppressions(pkg *Package) suppressionSet {
+	set := suppressionSet{}
+	add := func(file string, line int, checks map[string]bool) {
+		byLine := set[file]
+		if byLine == nil {
+			byLine = map[int]map[string]bool{}
+			set[file] = byLine
+		}
+		for _, l := range []int{line, line + 1} {
+			if byLine[l] == nil {
+				byLine[l] = map[string]bool{}
+			}
+			for k := range checks {
+				byLine[l][k] = true
+			}
+		}
+	}
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				m := nolintRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				checks := map[string]bool{}
+				if m[1] == "" {
+					checks["*"] = true
+				} else {
+					for _, name := range strings.Split(m[1], ",") {
+						checks[strings.TrimSpace(name)] = true
+					}
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				add(pos.Filename, pos.Line, checks)
+			}
+		}
+	}
+	return set
+}
+
+func (s suppressionSet) suppressed(f Finding) bool {
+	checks := s[f.Pos.Filename][f.Pos.Line]
+	return checks["*"] || checks[f.Check]
+}
+
+// exprString renders a (small) expression for use in messages.
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(fset, e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprString(fset, e.Fun) + "(...)"
+	default:
+		return "expression"
+	}
+}

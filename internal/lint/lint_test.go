@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// loadFixture loads one testdata fixture package through the real module
+// loader, exactly as cmd/bslint would.
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	mod, err := LoadModule(".")
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	abs, err := filepath.Abs(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatalf("Abs: %v", err)
+	}
+	rel, err := filepath.Rel(mod.Dir, abs)
+	if err != nil {
+		t.Fatalf("Rel: %v", err)
+	}
+	pkgs, err := mod.Packages("./" + filepath.ToSlash(rel))
+	if err != nil {
+		t.Fatalf("Packages(%s): %v", name, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages for fixture %s, want 1", len(pkgs), name)
+	}
+	return pkgs[0]
+}
+
+var wantRe = regexp.MustCompile(`// want "([^"]+)"`)
+
+// wantsIn extracts line -> expected-message-substring from the fixture's
+// `// want "..."` comments.
+func wantsIn(t *testing.T, pkg *Package) map[int]string {
+	t.Helper()
+	wants := map[int]string{}
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				line := pkg.Fset.Position(c.Pos()).Line
+				if _, dup := wants[line]; dup {
+					t.Fatalf("duplicate want on line %d", line)
+				}
+				wants[line] = m[1]
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no want comments", pkg.Path)
+	}
+	return wants
+}
+
+// only enables a single check by name.
+func only(name string) map[string]bool {
+	enabled := map[string]bool{}
+	for _, c := range Checks() {
+		enabled[c.Name] = c.Name == name
+	}
+	return enabled
+}
+
+// TestAnalyzers runs each analyzer over its fixture package and asserts
+// the findings match the want comments exactly — no misses, no extras —
+// which also exercises nolint suppression (suppressed lines carry no
+// want).
+func TestAnalyzers(t *testing.T) {
+	for _, check := range Checks() {
+		t.Run(check.Name, func(t *testing.T) {
+			pkg := loadFixture(t, check.Name)
+			wants := wantsIn(t, pkg)
+			findings := Run([]*Package{pkg}, only(check.Name))
+
+			seen := map[int]bool{}
+			for _, f := range findings {
+				if f.Check != check.Name {
+					t.Errorf("finding from unexpected check %s: %s", f.Check, f)
+					continue
+				}
+				want, ok := wants[f.Pos.Line]
+				if !ok {
+					t.Errorf("unexpected finding: %s", f)
+					continue
+				}
+				if !strings.Contains(f.Message, want) {
+					t.Errorf("line %d: message %q does not contain %q", f.Pos.Line, f.Message, want)
+				}
+				seen[f.Pos.Line] = true
+			}
+			for line, want := range wants {
+				if !seen[line] {
+					t.Errorf("line %d: expected finding containing %q, got none", line, want)
+				}
+			}
+		})
+	}
+}
+
+// TestCheckDisable verifies the per-check enable map actually gates
+// execution: a disabled check reports nothing even over its own fixture.
+func TestCheckDisable(t *testing.T) {
+	pkg := loadFixture(t, "determinism")
+	enabled := map[string]bool{}
+	for _, c := range Checks() {
+		enabled[c.Name] = false
+	}
+	if findings := Run([]*Package{pkg}, enabled); len(findings) != 0 {
+		t.Fatalf("all checks disabled but got %d findings, first: %s", len(findings), findings[0])
+	}
+}
+
+// TestFindingString pins the file:line:col output contract other tooling
+// greps for.
+func TestFindingString(t *testing.T) {
+	f := Finding{
+		Pos:     token.Position{Filename: "x.go", Line: 7, Column: 3},
+		Check:   "determinism",
+		Message: "boom",
+	}
+	if got, want := f.String(), "x.go:7:3: [determinism] boom"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+// TestRegistry asserts the four shipped analyzers are registered under
+// their documented names.
+func TestRegistry(t *testing.T) {
+	want := map[string]bool{"determinism": true, "locksafe": true, "errcheck": true, "apidoc": true}
+	for _, c := range Checks() {
+		delete(want, c.Name)
+		if c.Doc == "" {
+			t.Errorf("check %s has no doc line", c.Name)
+		}
+	}
+	for name := range want {
+		t.Errorf("check %s not registered", name)
+	}
+}
+
+// TestModuleClean is the self-test CI leans on: the repository's own
+// packages must produce zero findings, so a leak reintroduced anywhere
+// fails this test even if nobody runs bslint by hand.
+func TestModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	mod, err := LoadModule(".")
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	pkgs, err := mod.Packages("./...")
+	if err != nil {
+		t.Fatalf("Packages: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; loader is missing the module tree", len(pkgs))
+	}
+	for _, f := range Run(pkgs, nil) {
+		t.Errorf("module not lint-clean: %s", f)
+	}
+}

@@ -1,0 +1,198 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+func init() {
+	Register(Check{
+		Name: "locksafe",
+		Doc:  "methods touching `// guarded by <mu>` fields must lock that mutex (heuristic; suppress with //nolint:locksafe)",
+		Run:  runLocksafe,
+	})
+}
+
+// guardedRe extracts the mutex name from a field comment like
+// "// guarded by mu".
+var guardedRe = regexp.MustCompile(`guarded by (\w+)`)
+
+// lockedStruct records one struct's lock discipline: which mutex fields it
+// has and which sibling fields each guards.
+type lockedStruct struct {
+	name    string          // type name
+	mutexes map[string]bool // mutex-typed field names
+	guarded map[string]string
+}
+
+func runLocksafe(pkg *Package) []Finding {
+	structs := guardedStructs(pkg)
+	if len(structs) == 0 {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			recvName, ls := receiverOf(pkg, fd, structs)
+			if ls == nil || recvName == "" {
+				continue
+			}
+			out = append(out, checkMethod(pkg, fd, recvName, ls)...)
+		}
+	}
+	return out
+}
+
+// guardedStructs finds every struct in pkg that has a sync.Mutex/RWMutex
+// field and at least one "// guarded by <mu>" sibling annotation.
+func guardedStructs(pkg *Package) map[string]*lockedStruct {
+	structs := map[string]*lockedStruct{}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			ls := &lockedStruct{name: ts.Name.Name, mutexes: map[string]bool{}, guarded: map[string]string{}}
+			for _, field := range st.Fields.List {
+				if isMutexType(pkg.Info.TypeOf(field.Type)) {
+					for _, name := range field.Names {
+						ls.mutexes[name.Name] = true
+					}
+					continue
+				}
+				mu := guardAnnotation(field)
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					ls.guarded[name.Name] = mu
+				}
+			}
+			if len(ls.mutexes) > 0 && len(ls.guarded) > 0 {
+				structs[ls.name] = ls
+			}
+			return true
+		})
+	}
+	return structs
+}
+
+func isMutexType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// guardAnnotation returns the mutex name from a field's doc or trailing
+// comment, or "" when the field is unannotated.
+func guardAnnotation(field *ast.Field) string {
+	for _, group := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if group == nil {
+			continue
+		}
+		if m := guardedRe.FindStringSubmatch(group.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// receiverOf resolves fd's receiver to a tracked struct, returning the
+// receiver variable name.
+func receiverOf(pkg *Package, fd *ast.FuncDecl, structs map[string]*lockedStruct) (string, *lockedStruct) {
+	if len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+		return "", nil
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	id, ok := t.(*ast.Ident)
+	if !ok {
+		return "", nil
+	}
+	ls, ok := structs[id.Name]
+	if !ok {
+		return "", nil
+	}
+	return fd.Recv.List[0].Names[0].Name, ls
+}
+
+// lockMethods are the sync calls that count as acquiring the guard.
+var lockMethods = map[string]bool{"Lock": true, "RLock": true, "TryLock": true, "TryRLock": true}
+
+// checkMethod flags guarded-field accesses in a method whose body never
+// acquires the guarding mutex. This is deliberately a whole-body
+// heuristic, not a path-sensitive analysis: a method that locks anywhere
+// is trusted, and helpers documented as "caller holds mu" carry a
+// //nolint:locksafe.
+func checkMethod(pkg *Package, fd *ast.FuncDecl, recvName string, ls *lockedStruct) []Finding {
+	recvObj := pkg.Info.Defs[fd.Recv.List[0].Names[0]]
+	locked := map[string]bool{}
+	type access struct {
+		sel *ast.SelectorExpr
+		mu  string
+	}
+	var accesses []access
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		// recv.mu.Lock() — the inner selector is recv.mu.
+		if lockMethods[sel.Sel.Name] {
+			if inner, ok := sel.X.(*ast.SelectorExpr); ok && isReceiver(pkg, inner.X, recvObj) && ls.mutexes[inner.Sel.Name] {
+				locked[inner.Sel.Name] = true
+				return true
+			}
+		}
+		if !isReceiver(pkg, sel.X, recvObj) {
+			return true
+		}
+		if mu, ok := ls.guarded[sel.Sel.Name]; ok {
+			accesses = append(accesses, access{sel, mu})
+		}
+		return true
+	})
+
+	var out []Finding
+	for _, a := range accesses {
+		if locked[a.mu] {
+			continue
+		}
+		out = append(out, Finding{
+			Pos: pkg.Fset.Position(a.sel.Pos()),
+			Message: "field " + a.sel.Sel.Name + " is guarded by " + a.mu +
+				" but method " + fd.Name.Name + " never locks it",
+		})
+	}
+	return out
+}
+
+func isReceiver(pkg *Package, e ast.Expr, recvObj types.Object) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok || recvObj == nil {
+		return false
+	}
+	return pkg.Info.Uses[id] == recvObj
+}

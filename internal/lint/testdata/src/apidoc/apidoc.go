@@ -1,0 +1,39 @@
+// Package apidoc is a bslint fixture for the doc-comment check.
+package apidoc
+
+// Documented has a doc comment, so it is allowed.
+type Documented struct{}
+
+type Naked struct{} // want "exported type Naked has no doc comment"
+
+// DocumentedFunc is allowed.
+func DocumentedFunc() {}
+
+func NakedFunc() {} // want "exported function NakedFunc has no doc comment"
+
+// NakedMethod's receiver type is exported and the method lacks docs.
+type Holder struct{}
+
+func (Holder) NakedMethod() {} // want "exported method NakedMethod has no doc comment"
+
+type hidden struct{}
+
+func (hidden) Exported() {} // method on unexported type: allowed
+
+// MaxThings is allowed.
+const MaxThings = 4
+
+const NakedConst = 5 // want "exported const NakedConst has no doc comment"
+
+// Grouped constants share the group's doc comment.
+const (
+	GroupedA = 1
+	GroupedB = 2
+)
+
+var NakedVar int // want "exported var NakedVar has no doc comment"
+
+func unexported() {} // unexported: allowed
+
+//nolint:apidoc
+func SuppressedFunc() {}

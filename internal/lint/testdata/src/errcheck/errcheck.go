@@ -1,0 +1,47 @@
+// Package errcheck is a bslint fixture for the discarded-error check.
+package errcheck
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+)
+
+func discardedClose(f *os.File) {
+	f.Close() // want "error from f.Close is discarded"
+}
+
+func deferredCloseOK(f *os.File) {
+	defer f.Close() // defer is a visible, deliberate choice: allowed
+}
+
+func blankCloseOK(f *os.File) {
+	_ = f.Close() // explicit discard: allowed
+}
+
+func handledCloseOK(f *os.File) error {
+	return f.Close()
+}
+
+func discardedFlush(w *bufio.Writer) {
+	w.Flush() // want "error from w.Flush is discarded"
+}
+
+func discardedWrite(f *os.File, p []byte) {
+	f.Write(p) // want "error from f.Write is discarded"
+}
+
+func bufferWriteOK(b *bytes.Buffer, sb *strings.Builder, p []byte) {
+	b.Write(p)            // bytes.Buffer never fails: allowed
+	sb.WriteString("cap") // strings.Builder never fails: allowed
+}
+
+func discardedEncode(w *os.File, v any) {
+	json.NewEncoder(w).Encode(v) // want "error from json.NewEncoder(...).Encode is discarded"
+}
+
+func suppressedClose(f *os.File) {
+	f.Close() //nolint:errcheck
+}

@@ -1,0 +1,54 @@
+// Package locksafe is a bslint fixture for the lock-discipline check.
+package locksafe
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+
+	// guarded by mu
+	n int
+
+	hits int // guarded by mu
+
+	free int // unannotated: never flagged
+}
+
+func (c *counter) incr() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++ // locked: allowed
+}
+
+func (c *counter) unsafeRead() int {
+	return c.n // want "field n is guarded by mu but method unsafeRead never locks it"
+}
+
+func (c *counter) unsafeTrailing() int {
+	return c.hits // want "field hits is guarded by mu but method unsafeTrailing never locks it"
+}
+
+func (c *counter) freeRead() int {
+	return c.free // unguarded field: allowed
+}
+
+func (c *counter) callerHolds() int {
+	return c.n //nolint:locksafe — documented: caller holds mu
+}
+
+type rwBox struct {
+	mu sync.RWMutex
+
+	// guarded by mu
+	val string
+}
+
+func (b *rwBox) get() string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.val // RLock counts: allowed
+}
+
+func (b *rwBox) leak() string {
+	return b.val // want "field val is guarded by mu but method leak never locks it"
+}

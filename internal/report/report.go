@@ -26,7 +26,7 @@ type Store struct {
 	Heavy bool
 
 	mu sync.Mutex
-	ds map[string]*backscatter.Dataset
+	ds map[string]*backscatter.Dataset // guarded by mu
 }
 
 // NewStore returns a store at the given scale.

@@ -66,6 +66,21 @@ func (t Time) Std() time.Time { return time.Unix(int64(t), 0).UTC() }
 // String formats t as an RFC 3339-style UTC timestamp.
 func (t Time) String() string { return t.Std().Format("2006-01-02T15:04:05Z") }
 
+// Wall returns the current wall-clock instant as a simulated Time. It is
+// the single sanctioned bridge from real time into the simulator's clock
+// domain: live collection (a Server timestamping real queries) defaults to
+// it, while simulations inject an explicit clock instead. bslint's
+// determinism check forbids time.Now everywhere outside this package, so
+// every wall-clock read in the tree flows through here.
+func Wall() Time { return Time(time.Now().Unix()) }
+
+// WallDeadline returns the wall-clock instant d from now, for I/O
+// deadlines on real sockets (SetReadDeadline needs absolute wall time, and
+// a network timeout is inherently a wall-clock concern, not a simulated
+// one). Like Wall, it exists so determinism-checked packages never touch
+// time.Now directly.
+func WallDeadline(d time.Duration) time.Time { return time.Now().Add(d) }
+
 // Days returns a Duration of n days.
 func Days(n int) Duration { return Duration(n) * Day }
 
