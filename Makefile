@@ -10,9 +10,9 @@
 # actually share state across goroutines.
 
 GO ?= go
-RACE_PKGS = ./internal/cache ./internal/dnsserver ./internal/report
+RACE_PKGS = ./internal/cache ./internal/dnsserver ./internal/obs ./internal/report
 
-.PHONY: verify fmt vet lint build test race
+.PHONY: verify fmt vet lint build test race bench
 
 verify: fmt vet lint build test race
 	@echo "verify: all checks passed"
@@ -37,3 +37,9 @@ test:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
+
+# Benchmark trajectory: run the paper-reproduction benchmark suite once
+# per benchmark and record name/ns/op/B/op/allocs into BENCH_PR2.json so
+# later PRs can diff performance. BS_SCALE tunes dataset size as usual.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . | $(GO) run ./cmd/bsbench -o BENCH_PR2.json

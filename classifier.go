@@ -56,10 +56,13 @@ func (d *Dataset) TrainClassifier(votes int) (*Model, error) {
 	return d.TrainWith(AlgRandomForest, votes, d.Labels)
 }
 
-// TrainWith trains a specific algorithm on the given labels.
+// TrainWith trains a specific algorithm on the given labels. On datasets
+// built with BuildObserved, training and later ClassifyAll calls record
+// into the dataset's registry as the "train" and "classify" stages.
 func (d *Dataset) TrainWith(alg Algorithm, votes int, labels *LabeledSet) (*Model, error) {
 	p := classify.NewPipeline()
 	p.Trainer = alg.Trainer()
+	p.Obs = d.obs
 	if votes > 1 {
 		p.Votes = votes
 	}

@@ -1,0 +1,91 @@
+// Command bsbench turns `go test -bench` output into a benchmark-
+// trajectory JSON file, so successive PRs can diff performance on the
+// same experiments.
+//
+// It reads benchmark output on stdin, echoes every line through to stdout
+// (the run stays readable), and writes the parsed results — name,
+// iterations, ns/op, and when -benchmem is on, B/op and allocs/op — as
+// sorted JSON to the -o file:
+//
+//	go test -run '^$' -bench . -benchmem . | bsbench -o BENCH_PR2.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// result is one parsed benchmark line.
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// benchLine matches standard testing benchmark output, with the GOMAXPROCS
+// suffix stripped from the name and the -benchmem columns optional.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func parse(line string) (result, bool) {
+	m := benchLine.FindStringSubmatch(line)
+	if m == nil {
+		return result{}, false
+	}
+	iters, _ := strconv.ParseInt(m[2], 10, 64)
+	ns, _ := strconv.ParseFloat(m[3], 64)
+	r := result{Name: m[1], Iterations: iters, NsPerOp: ns}
+	if m[4] != "" {
+		r.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
+	}
+	if m[5] != "" {
+		r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+	}
+	return r, true
+}
+
+func main() {
+	out := flag.String("o", "", "write parsed results as JSON to this file (stdout JSON when empty)")
+	flag.Parse()
+
+	var results []result
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if r, ok := parse(line); ok {
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "bsbench: read:", err)
+		os.Exit(1)
+	}
+	// Sorted by name so the trajectory file is byte-stable run to run.
+	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
+
+	doc, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bsbench: marshal:", err)
+		os.Exit(1)
+	}
+	doc = append(doc, '\n')
+	if *out == "" {
+		_, _ = os.Stdout.Write(doc)
+		return
+	}
+	if err := os.WriteFile(*out, doc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bsbench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "bsbench: wrote %d results to %s\n", len(results), *out)
+}

@@ -6,6 +6,7 @@
 //	bsrepro -scale 0.5                 # everything
 //	bsrepro -experiment table3,figure4 # a subset
 //	bsrepro -list                      # available experiments
+//	bsrepro -stats -experiment table1  # plus per-stage pipeline timings
 package main
 
 import (
@@ -15,7 +16,9 @@ import (
 	"strings"
 	"time"
 
+	"dnsbackscatter/internal/obs"
 	"dnsbackscatter/internal/report"
+	"dnsbackscatter/internal/simtime"
 )
 
 func main() {
@@ -24,6 +27,7 @@ func main() {
 		exps  = flag.String("experiment", "all", "comma-separated experiment names, or all")
 		heavy = flag.Bool("heavy", false, "run the most expensive trial points too")
 		list  = flag.Bool("list", false, "list experiments and exit")
+		stats = flag.Bool("stats", false, "print pipeline stage timings (µs) and metric totals after each experiment")
 	)
 	flag.Parse()
 
@@ -36,6 +40,16 @@ func main() {
 
 	store := report.NewStore(*scale)
 	store.Heavy = *heavy
+
+	var reg *obs.Registry
+	if *stats {
+		reg = obs.NewRegistry()
+		// A main is free to time stages with the wall clock; microseconds
+		// resolve the sub-second pipeline stages that simtime.Wall's whole
+		// seconds would round to zero.
+		reg.SetClock(func() simtime.Time { return simtime.Time(time.Now().UnixMicro()) })
+		store.Obs = reg
+	}
 
 	var todo []report.Experiment
 	if *exps == "all" {
@@ -56,5 +70,8 @@ func main() {
 		out := e.Run(store)
 		fmt.Println(out)
 		fmt.Fprintf(os.Stderr, "[%s done in %.1fs]\n\n", e.Name, time.Since(start).Seconds())
+		if reg != nil {
+			fmt.Fprintf(os.Stderr, "pipeline stages after %s (µs):\n%s\n", e.Name, reg.StageReport())
+		}
 	}
 }

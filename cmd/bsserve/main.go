@@ -8,27 +8,75 @@
 //	bsserve -addr 127.0.0.1:5353 -seed 1404 -log backscatter.tsv
 //
 // then point bsdig (or dig -x) at it.
+//
+// With -http, bsserve also serves its live metrics:
+//
+//	bsserve -addr 127.0.0.1:5353 -http 127.0.0.1:8080
+//	curl http://127.0.0.1:8080/metrics               # sorted text
+//	curl http://127.0.0.1:8080/metrics?format=json   # same, as JSON
+//	curl http://127.0.0.1:8080/debug/vars            # expvar
+//
+// net/http/pprof profiling endpoints hang off /debug/pprof/.
 package main
 
 import (
+	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 
 	"dnsbackscatter/internal/dnslog"
 	"dnsbackscatter/internal/dnsserver"
 	"dnsbackscatter/internal/dnssim"
 	"dnsbackscatter/internal/ipaddr"
+	"dnsbackscatter/internal/obs"
 	"dnsbackscatter/internal/simtime"
 )
 
+// serveMetrics exposes the registry on the default mux (which pprof and
+// expvar already registered themselves on) and serves it.
+func serveMetrics(httpAddr string, reg *obs.Registry) {
+	http.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "json" || strings.HasSuffix(r.URL.Path, ".json") {
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write(reg.SnapshotJSON())
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write(reg.Snapshot())
+	})
+	http.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(reg.SnapshotJSON())
+	})
+	expvar.Publish("backscatter", expvar.Func(func() any {
+		var doc any
+		// The snapshot is our own marshaling; re-parse so expvar nests it
+		// as structured JSON rather than one giant string.
+		if err := json.Unmarshal(reg.SnapshotJSON(), &doc); err != nil {
+			return err.Error()
+		}
+		return doc
+	}))
+	srv := &http.Server{Addr: httpAddr}
+	fmt.Fprintf(os.Stderr, "bsserve: metrics on http://%s/metrics (pprof on /debug/pprof/)\n", httpAddr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "bsserve: http:", err)
+	}
+}
+
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:5353", "UDP listen address")
-		seed    = flag.Uint64("seed", 1404, "world seed for the zone contents")
-		logPath = flag.String("log", "", "append observed backscatter records to this TSV file")
-		name    = flag.String("authority", "final", "authority name in emitted records")
+		addr     = flag.String("addr", "127.0.0.1:5353", "UDP listen address")
+		seed     = flag.Uint64("seed", 1404, "world seed for the zone contents")
+		logPath  = flag.String("log", "", "append observed backscatter records to this TSV file")
+		name     = flag.String("authority", "final", "authority name in emitted records")
+		httpAddr = flag.String("http", "", "serve /metrics, /debug/vars, and /debug/pprof on this address")
 	)
 	flag.Parse()
 
@@ -48,6 +96,13 @@ func main() {
 		os.Exit(1)
 	}
 	defer s.Close()
+
+	if *httpAddr != "" {
+		reg := obs.NewRegistry()
+		reg.SetClock(simtime.Wall) // operational main: wall-backed spans
+		s.SetMetrics(reg)
+		go serveMetrics(*httpAddr, reg)
+	}
 
 	var lw *dnslog.Writer
 	if *logPath != "" {

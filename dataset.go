@@ -10,6 +10,7 @@ import (
 	"dnsbackscatter/internal/features"
 	"dnsbackscatter/internal/groundtruth"
 	"dnsbackscatter/internal/ipaddr"
+	"dnsbackscatter/internal/obs"
 	"dnsbackscatter/internal/rng"
 	"dnsbackscatter/internal/simtime"
 	"dnsbackscatter/internal/world"
@@ -225,6 +226,7 @@ type Dataset struct {
 	Labels *groundtruth.LabeledSet
 
 	whole *Snapshot
+	obs   *obs.Registry // non-nil when built with BuildObserved
 }
 
 // heartbleedBurst models the post-announcement scanning surge: the paper
@@ -241,7 +243,15 @@ func heartbleedBurst(scanPop int) world.Burst {
 
 // Build simulates the dataset. Large specs (M-sampled, B-multi-year) take
 // tens of seconds; use Scaled for tests.
-func Build(spec DatasetSpec) *Dataset {
+func Build(spec DatasetSpec) *Dataset { return BuildObserved(spec, nil) }
+
+// BuildObserved is Build with an observability registry attached: the
+// world, hierarchy, resolver caches, and the Figure 2 pipeline stages
+// (dedup/filter/extract, and classify via TrainClassifier) all record
+// into reg, and later pipeline runs on this dataset keep recording. A nil
+// reg is exactly Build. With a deterministic clock (TickClock), the full
+// snapshot is a pure function of the spec.
+func BuildObserved(spec DatasetSpec, reg *obs.Registry) *Dataset {
 	if spec.Scale <= 0 {
 		spec.Scale = 1
 	}
@@ -281,9 +291,10 @@ func Build(spec DatasetSpec) *Dataset {
 	}
 
 	w := world.New(cfg)
+	w.SetMetrics(reg)
 	w.Run()
 
-	d := &Dataset{Spec: spec, World: w}
+	d := &Dataset{Spec: spec, World: w, obs: reg}
 	switch spec.Authority {
 	case "jp":
 		d.Records = w.National["jp"].Records
@@ -296,6 +307,7 @@ func Build(spec DatasetSpec) *Dataset {
 	}
 
 	d.Extractor = features.NewExtractor(w.Geo, w.QuerierName)
+	d.Extractor.Obs = reg
 	if spec.MinQueriers > 0 {
 		d.Extractor.MinQueriers = spec.MinQueriers
 	}

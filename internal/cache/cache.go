@@ -11,6 +11,7 @@
 package cache
 
 import (
+	"dnsbackscatter/internal/obs"
 	"dnsbackscatter/internal/simtime"
 )
 
@@ -30,6 +31,82 @@ type Cache struct {
 	entries map[uint64]Entry
 
 	hits, misses, expired uint64
+
+	m *cacheMetrics
+}
+
+// Key tiers: callers tag keys in bits 40+ (1 = PTR record, 2 = /8 zone
+// delegation, 3 = /16 zone delegation — the scheme both dnssim resolvers
+// and the live recursor use), which is what makes per-zone cache metrics
+// possible without string keys.
+var tierNames = [4]string{"other", "ptr", "z8", "z16"}
+
+// tierOf maps a cache key to its metric tier index.
+func tierOf(key uint64) int {
+	if t := key >> 40; t >= 1 && t <= 3 {
+		return int(t)
+	}
+	return 0
+}
+
+// cacheMetrics holds the pre-resolved counters of one instrumented cache.
+// All methods are no-ops on a nil receiver, so the uninstrumented hot
+// path pays one pointer test.
+type cacheMetrics struct {
+	hits    [4]*obs.Counter
+	negHits [4]*obs.Counter
+	misses  [4]*obs.Counter
+	// evictions is per cache, not per tier: the eviction victim comes from
+	// Go's random map iteration, so a tier split would vary run to run and
+	// break snapshot determinism. The count itself is deterministic (one
+	// per over-capacity insert).
+	evictions *obs.Counter
+}
+
+// SetMetrics instruments the cache: hits, negative hits, and misses are
+// counted per key tier under cache_*_total{cache=name,
+// tier=ptr|z8|z16|other}; evictions per cache under
+// cache_evictions_total{cache=name}. Caches sharing a name (every
+// simulated resolver, say) share counters — the registry dedups by
+// identity. A nil registry leaves the cache uninstrumented.
+func (c *Cache) SetMetrics(reg *obs.Registry, name string) {
+	if reg == nil {
+		c.m = nil
+		return
+	}
+	m := &cacheMetrics{evictions: reg.Counter("cache_evictions_total", obs.L("cache", name))}
+	for ti, tier := range tierNames {
+		ls := []obs.Label{obs.L("cache", name), obs.L("tier", tier)}
+		m.hits[ti] = reg.Counter("cache_hits_total", ls...)
+		m.negHits[ti] = reg.Counter("cache_negative_hits_total", ls...)
+		m.misses[ti] = reg.Counter("cache_misses_total", ls...)
+	}
+	c.m = m
+}
+
+func (m *cacheMetrics) hit(key uint64, negative bool) {
+	if m == nil {
+		return
+	}
+	t := tierOf(key)
+	m.hits[t].Inc()
+	if negative {
+		m.negHits[t].Inc()
+	}
+}
+
+func (m *cacheMetrics) miss(key uint64) {
+	if m == nil {
+		return
+	}
+	m.misses[tierOf(key)].Inc()
+}
+
+func (m *cacheMetrics) evict() {
+	if m == nil {
+		return
+	}
+	m.evictions.Inc()
 }
 
 // New returns a cache holding at most max entries. max <= 0 means
@@ -44,15 +121,18 @@ func (c *Cache) Get(key uint64, now simtime.Time) (Entry, bool) {
 	e, ok := c.entries[key]
 	if !ok {
 		c.misses++
+		c.m.miss(key)
 		return Entry{}, false
 	}
 	if !now.Before(e.Expires) {
 		delete(c.entries, key)
 		c.expired++
 		c.misses++
+		c.m.miss(key)
 		return Entry{}, false
 	}
 	c.hits++
+	c.m.hit(key, e.Negative)
 	return e, true
 }
 
@@ -97,6 +177,7 @@ func (c *Cache) evict(now simtime.Time) {
 		if !now.Before(e.Expires) {
 			delete(c.entries, k)
 			c.expired++
+			c.m.evict()
 			return
 		}
 		if !found {
@@ -108,6 +189,7 @@ func (c *Cache) evict(now simtime.Time) {
 	}
 	if found {
 		delete(c.entries, victim)
+		c.m.evict()
 	}
 }
 

@@ -3,6 +3,7 @@ package cache
 import (
 	"testing"
 
+	"dnsbackscatter/internal/obs"
 	"dnsbackscatter/internal/simtime"
 )
 
@@ -154,5 +155,51 @@ func BenchmarkPut(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		c.Put(keys[i%len(keys)], "v", 1000, simtime.Time(i))
+	}
+}
+
+// TestTierMetrics pins the per-tier cache counters: keys tagged with the
+// shared tier scheme (1=ptr, 2=z8, 3=z16 in bits 40+) count under their
+// tier label; untagged keys fall into "other".
+func TestTierMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New(2)
+	c.SetMetrics(reg, "test")
+
+	ptr := uint64(1)<<40 | 7
+	z8 := uint64(2)<<40 | 100
+	c.Put(ptr, "a", 60, 0)       // fills slot 1
+	c.Get(ptr, 10)               // ptr hit
+	c.Get(z8, 10)                // z8 miss
+	c.PutNegative(z8, 60, 0)     // fills slot 2
+	c.Get(z8, 10)                // z8 negative hit
+	c.Put(uint64(9), "b", 60, 0) // over capacity: evicts one entry
+	c.Get(ptr, 100)              // expired: ptr miss (if still resident)
+
+	get := func(name, tier string) uint64 {
+		t.Helper()
+		return reg.Counter(name, obs.L("cache", "test"), obs.L("tier", tier)).Value()
+	}
+	if got := get("cache_hits_total", "ptr"); got != 1 {
+		t.Errorf("ptr hits = %d, want 1", got)
+	}
+	if got := get("cache_hits_total", "z8"); got != 1 {
+		t.Errorf("z8 hits = %d, want 1", got)
+	}
+	if got := get("cache_negative_hits_total", "z8"); got != 1 {
+		t.Errorf("z8 negative hits = %d, want 1", got)
+	}
+	if got := get("cache_misses_total", "z8"); got != 1 {
+		t.Errorf("z8 misses = %d, want 1", got)
+	}
+	evictions := reg.Counter("cache_evictions_total", obs.L("cache", "test")).Value()
+	if evictions != 1 {
+		t.Errorf("evictions = %d, want 1", evictions)
+	}
+	// Uninstrumenting stops counting without touching entries.
+	c.SetMetrics(nil, "")
+	c.Get(ptr, 10)
+	if got := get("cache_hits_total", "ptr") + get("cache_misses_total", "ptr"); got > 3 {
+		t.Errorf("uninstrumented cache still counting: %d", got)
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"dnsbackscatter/internal/groundtruth"
 	"dnsbackscatter/internal/ipaddr"
 	"dnsbackscatter/internal/ml"
+	"dnsbackscatter/internal/obs"
 	"dnsbackscatter/internal/rng"
 	"dnsbackscatter/internal/simtime"
 )
@@ -93,6 +94,10 @@ type Pipeline struct {
 	// MinClasses is the minimum distinct trainable classes; below it
 	// training fails (§V-C observes such failures).
 	MinClasses int
+	// Obs, when non-nil, times the train and classify stages of the
+	// Figure 2 pipeline (trained models inherit it) and counts
+	// classifications (pipeline_classified_total).
+	Obs *obs.Registry
 }
 
 // NewPipeline returns a pipeline with the paper's defaults: Random Forest
@@ -112,6 +117,7 @@ var ErrTooFewExamples = errors.New("classify: too few labeled examples to train"
 // Model is a trained originator classifier.
 type Model struct {
 	clf ml.Classifier
+	obs *obs.Registry // inherited from the training pipeline; may be nil
 }
 
 // TrainingSet assembles the ml design matrix from labels that re-appear in
@@ -158,14 +164,16 @@ func (p *Pipeline) TrainingSet(s *Snapshot, labels *groundtruth.LabeledSet) (*ml
 
 // Train fits a model on the labels as observed in snapshot s.
 func (p *Pipeline) Train(s *Snapshot, labels *groundtruth.LabeledSet, st *rng.Stream) (*Model, error) {
+	sp := p.Obs.StartSpan("train")
+	defer sp.End()
 	ds, _, err := p.TrainingSet(s, labels)
 	if err != nil {
 		return nil, err
 	}
 	if p.Votes > 1 {
-		return &Model{clf: ml.TrainMajority(p.Trainer, ds, p.Votes, st)}, nil
+		return &Model{clf: ml.TrainMajority(p.Trainer, ds, p.Votes, st), obs: p.Obs}, nil
 	}
-	return &Model{clf: p.Trainer.Train(ds, st)}, nil
+	return &Model{clf: p.Trainer.Train(ds, st), obs: p.Obs}, nil
 }
 
 // Classify labels one feature vector.
@@ -173,12 +181,17 @@ func (m *Model) Classify(v *features.Vector) activity.Class {
 	return activity.Class(m.clf.Predict(v.X[:]))
 }
 
-// ClassifyAll labels every analyzable originator in the snapshot.
+// ClassifyAll labels every analyzable originator in the snapshot — the
+// final stage of the Figure 2 pipeline, timed under the "classify" span
+// when the training pipeline was instrumented.
 func (m *Model) ClassifyAll(s *Snapshot) map[ipaddr.Addr]activity.Class {
+	sp := m.obs.StartSpan("classify")
 	out := make(map[ipaddr.Addr]activity.Class, len(s.Vectors))
 	for _, v := range s.Vectors {
 		out[v.Originator] = m.Classify(v)
 	}
+	sp.End()
+	m.obs.Counter("pipeline_classified_total").Add(uint64(len(out)))
 	return out
 }
 

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -21,6 +22,7 @@ import (
 	"dnsbackscatter/internal/dnssim"
 	"dnsbackscatter/internal/dnswire"
 	"dnsbackscatter/internal/ipaddr"
+	"dnsbackscatter/internal/obs"
 	"dnsbackscatter/internal/simtime"
 )
 
@@ -44,6 +46,7 @@ type Server struct {
 	handler Handler             // guarded by mu
 	sink    Sink                // guarded by mu
 	clock   func() simtime.Time // guarded by mu
+	metrics *serverMetrics      // guarded by mu
 
 	queries uint64 // atomic
 	dropped uint64 // atomic: unparseable or non-DNS datagrams
@@ -117,6 +120,71 @@ func (s *Server) SetClock(clock func() simtime.Time) {
 	s.clock = clock
 }
 
+// serverMetrics holds the server's pre-resolved observability counters.
+// The rcode family is filled lazily by the serve goroutine (the only
+// writer), so only response codes actually sent appear in snapshots.
+type serverMetrics struct {
+	reg       *obs.Registry
+	authority string
+	queries   *obs.Counter
+	dropped   *obs.Counter
+	silent    *obs.Counter
+	responses [16]*obs.Counter // indexed by rcode; lazily filled by serve
+}
+
+func (m *serverMetrics) queriesInc() {
+	if m != nil {
+		m.queries.Inc()
+	}
+}
+
+func (m *serverMetrics) droppedInc() {
+	if m != nil {
+		m.dropped.Inc()
+	}
+}
+
+func (m *serverMetrics) silentInc() {
+	if m != nil {
+		m.silent.Inc()
+	}
+}
+
+// rcode returns the response counter for one 4-bit rcode. Only the serve
+// goroutine calls this, so the lazy fill needs no lock.
+func (m *serverMetrics) rcode(rc uint8) *obs.Counter {
+	if m == nil {
+		return nil
+	}
+	i := rc & 0xf
+	if m.responses[i] == nil {
+		m.responses[i] = m.reg.Counter("dnsserver_responses_total",
+			obs.L("authority", m.authority), obs.L("rcode", strconv.Itoa(int(i))))
+	}
+	return m.responses[i]
+}
+
+// SetMetrics instruments the server: well-formed queries, dropped
+// datagrams, silent (unreachable-authority) handlings, and responses by
+// rcode, all labeled with the server's authority name. Call it before
+// traffic arrives; a nil registry uninstruments.
+func (s *Server) SetMetrics(reg *obs.Registry) {
+	var m *serverMetrics
+	if reg != nil {
+		la := obs.L("authority", s.authority)
+		m = &serverMetrics{
+			reg:       reg,
+			authority: s.authority,
+			queries:   reg.Counter("dnsserver_queries_total", la),
+			dropped:   reg.Counter("dnsserver_dropped_total", la),
+			silent:    reg.Counter("dnsserver_silent_total", la),
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.metrics = m
+}
+
 // Queries returns how many well-formed DNS queries arrived.
 func (s *Server) Queries() uint64 { return atomic.LoadUint64(&s.queries) }
 
@@ -156,19 +224,22 @@ func (s *Server) serve() {
 			}
 			return
 		}
+		s.mu.Lock()
+		h, m := s.handler, s.metrics
+		s.mu.Unlock()
 		if err := dnswire.DecodeInto(buf[:n], &msg); err != nil {
 			atomic.AddUint64(&s.dropped, 1)
+			m.droppedInc()
 			continue
 		}
 		if msg.Header.QR || len(msg.Questions) != 1 {
 			atomic.AddUint64(&s.dropped, 1)
+			m.droppedInc()
 			continue
 		}
 		atomic.AddUint64(&s.queries, 1)
+		m.queriesInc()
 
-		s.mu.Lock()
-		h := s.handler
-		s.mu.Unlock()
 		if h == nil {
 			continue
 		}
@@ -181,6 +252,7 @@ func (s *Server) serve() {
 			s.mu.Unlock()
 		}
 		if !answer {
+			m.silentInc()
 			continue // unreachable-authority simulation: stay silent
 		}
 		out = out[:0]
@@ -188,6 +260,7 @@ func (s *Server) serve() {
 		if err != nil {
 			continue
 		}
+		m.rcode(resp.Header.RCode).Inc()
 		_, _ = s.conn.WriteToUDP(out, peer)
 	}
 }
@@ -253,6 +326,11 @@ type Client struct {
 	Timeout time.Duration
 	// Retries beyond the first attempt (default 2).
 	Retries int
+	// Obs, when non-nil, counts the datagrams this client sends and its
+	// timeout retransmits (dnsclient_queries_total,
+	// dnsclient_retransmits_total) — the stub-resolver duplicates the
+	// paper's 30 s dedup window absorbs.
+	Obs *obs.Registry
 
 	nextID uint32 // atomic
 }

@@ -9,6 +9,7 @@ import (
 	"dnsbackscatter/internal/dnslog"
 	"dnsbackscatter/internal/dnswire"
 	"dnsbackscatter/internal/ipaddr"
+	"dnsbackscatter/internal/obs"
 	"dnsbackscatter/internal/simtime"
 )
 
@@ -149,11 +150,66 @@ type Recursor struct {
 	NegTTL simtime.Duration
 
 	cache *cache.Cache
+	m     *recursorMetrics
 }
 
 // NewRecursor returns a recursor with a fresh cache.
 func NewRecursor(roots ...string) *Recursor {
 	return &Recursor{Roots: roots, NegTTL: 5 * simtime.Minute, cache: cache.New(8192)}
+}
+
+// recursorMetrics holds the recursor's pre-resolved counters. Nil-receiver
+// methods keep the uninstrumented path to one pointer test.
+type recursorMetrics struct {
+	hits     *obs.Counter
+	misses   *obs.Counter
+	upstream [3]*obs.Counter // root, national, final
+}
+
+// SetMetrics instruments the recursor: full-answer cache hits and misses
+// (recursor_cache_{hits,misses}_total), upstream queries by hierarchy
+// level (recursor_upstream_queries_total{level=root|national|final},
+// retransmits included — the live view of §IV-D attenuation), per-tier
+// cache traffic via cache.SetMetrics, and the client's retransmits. A nil
+// registry uninstruments.
+func (r *Recursor) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		r.m = nil
+		r.Client.Obs = nil
+		r.cache.SetMetrics(nil, "")
+		return
+	}
+	r.Client.Obs = reg
+	r.cache.SetMetrics(reg, "recursor")
+	m := &recursorMetrics{
+		hits:   reg.Counter("recursor_cache_hits_total"),
+		misses: reg.Counter("recursor_cache_misses_total"),
+	}
+	for i, level := range [3]string{"root", "national", "final"} {
+		m.upstream[i] = reg.Counter("recursor_upstream_queries_total", obs.L("level", level))
+	}
+	r.m = m
+}
+
+func (m *recursorMetrics) answered(hit bool) {
+	if m == nil {
+		return
+	}
+	if hit {
+		m.hits.Inc()
+	} else {
+		m.misses.Inc()
+	}
+}
+
+func (m *recursorMetrics) sent(level, n int) {
+	if m == nil || n <= 0 {
+		return
+	}
+	if level < 0 || level > 2 {
+		level = 2
+	}
+	m.upstream[level].Add(uint64(n))
 }
 
 // Cache keys mirror the simulator's tagging scheme.
@@ -171,11 +227,13 @@ const maxChase = 8
 func (r *Recursor) ResolvePTR(addr ipaddr.Addr, now simtime.Time) (string, Trace, error) {
 	var tr Trace
 	if e, ok := r.cache.Get(rcPTRKey(addr), now); ok {
+		r.m.answered(true)
 		if e.Negative {
 			return "", tr, nil
 		}
 		return e.Value, tr, nil
 	}
+	r.m.answered(false)
 
 	// Deepest cached delegation wins; otherwise start at a root.
 	server := ""
@@ -202,6 +260,7 @@ func (r *Recursor) ResolvePTR(addr ipaddr.Addr, now simtime.Time) (string, Trace
 		}
 		msg, sent, err := r.Client.queryPTR(server, addr)
 		tr.Queries += sent
+		r.m.sent(level, sent)
 		if err != nil {
 			// Unreachable authority: remember briefly, as stubs do.
 			r.cache.PutNegative(rcPTRKey(addr), r.NegTTL, now)
@@ -277,6 +336,10 @@ func (c *Client) queryPTR(serverAddr string, addr ipaddr.Addr) (*dnswire.Message
 			return nil, sent, err
 		}
 		sent++
+		c.Obs.Counter("dnsclient_queries_total").Inc()
+		if attempt > 0 {
+			c.Obs.Counter("dnsclient_retransmits_total").Inc()
+		}
 		deadline := simtime.WallDeadline(timeout)
 		for {
 			if err := conn.SetReadDeadline(deadline); err != nil {

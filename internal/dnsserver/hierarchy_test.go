@@ -8,6 +8,7 @@ import (
 	"dnsbackscatter/internal/dnslog"
 	"dnsbackscatter/internal/dnssim"
 	"dnsbackscatter/internal/ipaddr"
+	"dnsbackscatter/internal/obs"
 	"dnsbackscatter/internal/simtime"
 )
 
@@ -260,5 +261,78 @@ func TestConcurrentRecursors(t *testing.T) {
 	}
 	if h.count("final") != 64 {
 		t.Errorf("final saw %d queries, want 64", h.count("final"))
+	}
+}
+
+// TestRecursorMetrics pins the live hierarchy's observability: per-level
+// upstream-query counters, recursor cache hit/miss counters, and the
+// instrumented servers' query/response counters.
+func TestRecursorMetrics(t *testing.T) {
+	h := startHierarchy(t)
+	r := newRecursor(h)
+	reg := obs.NewRegistry()
+	r.SetMetrics(reg)
+	h.root.SetMetrics(reg)
+	h.national.SetMetrics(reg)
+	h.final.SetMetrics(reg)
+
+	orig := ipaddr.MustParse("100.50.3.4")
+	if _, _, err := r.ResolvePTR(orig, 0); err != nil { // cold: full walk
+		t.Fatal(err)
+	}
+	if _, _, err := r.ResolvePTR(orig, 60); err != nil { // warm: cache hit
+		t.Fatal(err)
+	}
+	// Past the PTR TTL, inside delegation TTLs: final level only.
+	if _, _, err := r.ResolvePTR(orig, simtime.Time(2*simtime.Hour)); err != nil {
+		t.Fatal(err)
+	}
+
+	counter := func(name string, labels ...obs.Label) uint64 {
+		t.Helper()
+		return reg.Counter(name, labels...).Value()
+	}
+	if got := counter("recursor_cache_hits_total"); got != 1 {
+		t.Errorf("recursor hits = %d, want 1", got)
+	}
+	if got := counter("recursor_cache_misses_total"); got != 2 {
+		t.Errorf("recursor misses = %d, want 2", got)
+	}
+	// Attenuation in the counters themselves: root and national saw the
+	// cold walk only, final also the post-TTL re-fetch.
+	for _, c := range []struct {
+		level string
+		want  uint64
+	}{{"root", 1}, {"national", 1}, {"final", 2}} {
+		if got := counter("recursor_upstream_queries_total", obs.L("level", c.level)); got != c.want {
+			t.Errorf("upstream queries at %s = %d, want %d", c.level, got, c.want)
+		}
+	}
+	if got := counter("dnsclient_queries_total"); got != 4 {
+		t.Errorf("client queries = %d, want 4", got)
+	}
+	if got := counter("dnsclient_retransmits_total"); got != 0 {
+		t.Errorf("client retransmits = %d, want 0", got)
+	}
+	// Server-side: each authority counted what reached it, and every
+	// response was NoError.
+	for _, c := range []struct {
+		authority string
+		want      uint64
+	}{{"root", 1}, {"national", 1}, {"final", 2}} {
+		la := obs.L("authority", c.authority)
+		if got := counter("dnsserver_queries_total", la); got != c.want {
+			t.Errorf("server queries at %s = %d, want %d", c.authority, got, c.want)
+		}
+		if got := counter("dnsserver_responses_total", la, obs.L("rcode", "0")); got != c.want {
+			t.Errorf("rcode-0 responses at %s = %d, want %d", c.authority, got, c.want)
+		}
+	}
+	// The recursor's cache counters use the shared tier scheme.
+	if got := counter("cache_misses_total", obs.L("cache", "recursor"), obs.L("tier", "ptr")); got != 2 {
+		t.Errorf("recursor ptr-tier misses = %d, want 2", got)
+	}
+	if got := counter("cache_hits_total", obs.L("cache", "recursor"), obs.L("tier", "z16")); got != 1 {
+		t.Errorf("recursor z16-tier hits = %d, want 1", got)
 	}
 }

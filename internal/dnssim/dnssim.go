@@ -26,6 +26,7 @@ import (
 	"dnsbackscatter/internal/dnswire"
 	"dnsbackscatter/internal/geo"
 	"dnsbackscatter/internal/ipaddr"
+	"dnsbackscatter/internal/obs"
 	"dnsbackscatter/internal/rng"
 	"dnsbackscatter/internal/simtime"
 )
@@ -179,6 +180,13 @@ func NewResolver(addr ipaddr.Addr, busyness, preferM float64, cacheMax int, st *
 		cache: cache.New(cacheMax), st: st}
 }
 
+// SetCacheMetrics instruments this resolver's cache under the shared
+// "resolver" cache name — every simulated resolver aggregates into the
+// same per-tier counters, which is the population view §IV-D cares about.
+func (r *Resolver) SetCacheMetrics(reg *obs.Registry) {
+	r.cache.SetMetrics(reg, "resolver")
+}
+
 // Hierarchy is the simulated reverse-DNS tree with attached sensors.
 type Hierarchy struct {
 	Geo     *geo.Registry
@@ -189,6 +197,65 @@ type Hierarchy struct {
 	rootM    *Sensor
 	national map[string]*Sensor // country code -> sensor
 	finals   map[uint16]*Sensor // /16 -> sensor (instrumented final zones)
+
+	m *hierMetrics
+}
+
+// hierMetrics holds the hierarchy's pre-resolved counters. Nil receiver =
+// uninstrumented; every method is then a no-op.
+type hierMetrics struct {
+	resolves *obs.Counter
+	cached   *obs.Counter
+	hidden   *obs.Counter
+	level    [3]*obs.Counter // root, national, final
+}
+
+// hierLevels orders the per-level query counters top-down, matching the
+// attenuation ordering of Figure 1: root sees least, final sees all.
+var hierLevels = [3]string{"root", "national", "final"}
+
+// SetMetrics instruments the hierarchy: lookups started, lookups answered
+// wholly from the resolver cache, authority queries per hierarchy level
+// (dnssim_queries_total{level=root|national|final} — the §IV-D
+// attenuation is the ratio of these), and upper-tree queries hidden by
+// QNAME minimization. A nil registry uninstruments.
+func (h *Hierarchy) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		h.m = nil
+		return
+	}
+	m := &hierMetrics{
+		resolves: reg.Counter("dnssim_resolves_total"),
+		cached:   reg.Counter("dnssim_cached_total"),
+		hidden:   reg.Counter("dnssim_qmin_hidden_total"),
+	}
+	for i, lv := range hierLevels {
+		m.level[i] = reg.Counter("dnssim_queries_total", obs.L("level", lv))
+	}
+	h.m = m
+}
+
+func (m *hierMetrics) resolve(cached bool) {
+	if m == nil {
+		return
+	}
+	m.resolves.Inc()
+	if cached {
+		m.cached.Inc()
+	}
+}
+
+// query counts one authority query at level li (index into hierLevels);
+// hidden marks upper-tree queries whose reverse name QNAME minimization
+// stripped of the originator.
+func (m *hierMetrics) query(li int, hidden bool) {
+	if m == nil {
+		return
+	}
+	m.level[li].Inc()
+	if hidden {
+		m.hidden.Inc()
+	}
 }
 
 // NewHierarchy builds a hierarchy over the geo registry. profile may be nil
@@ -253,8 +320,10 @@ func bgWarm(r *Resolver, zoneKey uint64, ttl simtime.Duration, now simtime.Time)
 // authority queries sent (0 when the answer was fully cached).
 func (h *Hierarchy) Resolve(r *Resolver, orig ipaddr.Addr, now simtime.Time) int {
 	if _, ok := r.cache.Get(ptrKey(orig), now); ok {
+		h.m.resolve(true)
 		return 0
 	}
+	h.m.resolve(false)
 
 	// A retransmitting stub re-sends this lookup's queries ~3 s later,
 	// before any answer has been cached.
@@ -287,6 +356,7 @@ func (h *Hierarchy) Resolve(r *Resolver, orig ipaddr.Addr, now simtime.Time) int
 			observe(root, dnswire.RCodeNoError)
 		}
 		queries++
+		h.m.query(0, r.QNameMin)
 		r.cache.Put(z8Key(orig), country, r.capTTL(h.Cfg.NationalNSTTL), now)
 		have8 = true
 	}
@@ -297,12 +367,14 @@ func (h *Hierarchy) Resolve(r *Resolver, orig ipaddr.Addr, now simtime.Time) int
 			observe(s, dnswire.RCodeNoError)
 		}
 		queries++
+		h.m.query(1, r.QNameMin)
 		r.cache.Put(z16Key(orig), "final", r.capTTL(h.Cfg.FinalNSTTL), now)
 	}
 
 	// Final authority query for the PTR record itself.
 	p := h.Profile(orig)
 	queries++
+	h.m.query(2, false)
 	if p.FinalUnreachable {
 		// Timeout: nothing to record at the dead final; remember the
 		// failure briefly so retries are rate-limited.

@@ -6,6 +6,7 @@ import (
 	"dnsbackscatter/internal/dnswire"
 	"dnsbackscatter/internal/geo"
 	"dnsbackscatter/internal/ipaddr"
+	"dnsbackscatter/internal/obs"
 	"dnsbackscatter/internal/rng"
 	"dnsbackscatter/internal/simtime"
 )
@@ -281,5 +282,69 @@ func BenchmarkResolveCached(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		h.Resolve(r, orig, 1)
+	}
+}
+
+// TestHierarchyMetricsAttenuation checks that the per-level query counters
+// express §IV-D attenuation directly: repeat resolutions inside the
+// delegation TTLs reach the final authority only, so
+// dnssim_queries_total{level=final} outgrows root and national.
+func TestHierarchyMetricsAttenuation(t *testing.T) {
+	h, _, _, _, _, orig := testHierarchy(
+		func(ipaddr.Addr) OriginatorProfile {
+			// Zero PTR TTL isolates delegation caching.
+			return OriginatorProfile{HasName: true, Name: "x", TTL: 0, NegTTL: 0}
+		})
+	reg := obs.NewRegistry()
+	h.SetMetrics(reg)
+	r := newResolver(0, 0)
+	r.SetCacheMetrics(reg)
+
+	for i := 0; i < 10; i++ {
+		h.Resolve(r, orig, simtime.Time(i)*60)
+	}
+	lv := func(level string) uint64 {
+		t.Helper()
+		return reg.Counter("dnssim_queries_total", obs.L("level", level)).Value()
+	}
+	if got := lv("root"); got != 1 {
+		t.Errorf("root queries = %d, want 1", got)
+	}
+	if got := lv("national"); got != 1 {
+		t.Errorf("national queries = %d, want 1", got)
+	}
+	if got := lv("final"); got != 10 {
+		t.Errorf("final queries = %d, want 10", got)
+	}
+	if got := reg.Counter("dnssim_resolves_total").Value(); got != 10 {
+		t.Errorf("resolves = %d, want 10", got)
+	}
+	if got := reg.Counter("dnssim_cached_total").Value(); got != 0 {
+		t.Errorf("cached resolves = %d, want 0 with zero PTR TTL", got)
+	}
+	// The resolver cache counted its delegation hits under the shared name.
+	hits := reg.Counter("cache_hits_total", obs.L("cache", "resolver"), obs.L("tier", "z16")).Value()
+	if hits != 9 {
+		t.Errorf("z16 delegation hits = %d, want 9", hits)
+	}
+}
+
+// TestHierarchyMetricsCachedAndQMin covers the cached-resolve counter and
+// the QNAME-minimization visibility counter.
+func TestHierarchyMetricsCachedAndQMin(t *testing.T) {
+	h, _, _, _, _, orig := testHierarchy(cachedProfile)
+	reg := obs.NewRegistry()
+	h.SetMetrics(reg)
+	r := newResolver(0, 0)
+	r.QNameMin = true
+	h.Resolve(r, orig, 1000)
+	h.Resolve(r, orig, 1010) // inside the PTR TTL: fully cached
+	if got := reg.Counter("dnssim_cached_total").Value(); got != 1 {
+		t.Errorf("cached resolves = %d, want 1", got)
+	}
+	// A minimizing resolver hides the originator at root and national:
+	// two upper-level queries, both hidden.
+	if got := reg.Counter("dnssim_qmin_hidden_total").Value(); got != 2 {
+		t.Errorf("qmin-hidden queries = %d, want 2", got)
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"dnsbackscatter/internal/dnslog"
 	"dnsbackscatter/internal/geo"
 	"dnsbackscatter/internal/ipaddr"
+	"dnsbackscatter/internal/obs"
 	"dnsbackscatter/internal/qname"
 	"dnsbackscatter/internal/simtime"
 )
@@ -96,6 +97,11 @@ type Extractor struct {
 	// DedupWindow suppresses repeat queries per (originator, querier)
 	// pair before rate features; the paper uses 30 s.
 	DedupWindow simtime.Duration
+	// Obs, when non-nil, times the dedup/filter/extract stages of the
+	// Figure 2 pipeline and counts records and originators through them
+	// (pipeline_records_total, pipeline_records_kept_total,
+	// pipeline_originators_total, pipeline_analyzable_total).
+	Obs *obs.Registry
 }
 
 // NewExtractor returns an extractor with the paper's defaults.
@@ -113,13 +119,21 @@ type originatorAgg struct {
 // Extract computes vectors for every analyzable originator in recs, which
 // must be time-ordered per (originator, querier) pair (sensor output is).
 // The interval spans [start, start+dur) for persistence normalization.
+//
+// The three local stages of the Figure 2 pipeline run in order — dedup
+// (30 s window), filter (analyzability threshold), extract (vector
+// computation) — each under an Obs span when instrumented; classification
+// is the fourth stage, owned by package classify.
 func (x *Extractor) Extract(recs []dnslog.Record, start simtime.Time, dur simtime.Duration) []*Vector {
+	sp := x.Obs.StartSpan("dedup")
 	dedup := dnslog.NewDeduper(x.DedupWindow)
 	aggs := make(map[ipaddr.Addr]*originatorAgg)
+	kept := 0
 	for _, r := range recs {
 		if !dedup.Keep(r) {
 			continue
 		}
+		kept++
 		a := aggs[r.Originator]
 		if a == nil {
 			a = &originatorAgg{
@@ -132,9 +146,15 @@ func (x *Extractor) Extract(recs []dnslog.Record, start simtime.Time, dur simtim
 		a.queriers[r.Querier] = struct{}{}
 		a.buckets[r.Time.TenMinuteBucket()] = struct{}{}
 	}
+	sp.End()
+	x.Obs.Counter("pipeline_records_total").Add(uint64(len(recs)))
+	x.Obs.Counter("pipeline_records_kept_total").Add(uint64(kept))
+	x.Obs.Counter("pipeline_originators_total").Add(uint64(len(aggs)))
 
-	// Interval-level normalizers: every AS and country observed across
-	// all queriers this interval.
+	// Filter stage: interval-level normalizers (every AS and country
+	// observed across all queriers this interval), then the §III-B
+	// analyzability threshold.
+	sp = x.Obs.StartSpan("filter")
 	allAS := make(map[int]struct{})
 	allCountry := make(map[string]struct{})
 	allQueriers := make(map[ipaddr.Addr]struct{})
@@ -152,12 +172,17 @@ func (x *Extractor) Extract(recs []dnslog.Record, start simtime.Time, dur simtim
 	if totalBuckets < 1 {
 		totalBuckets = 1
 	}
-
-	var out []*Vector
 	for orig, a := range aggs {
 		if len(a.queriers) < x.MinQueriers {
-			continue
+			delete(aggs, orig)
 		}
+	}
+	sp.End()
+	x.Obs.Counter("pipeline_analyzable_total").Add(uint64(len(aggs)))
+
+	sp = x.Obs.StartSpan("extract")
+	var out []*Vector
+	for orig, a := range aggs {
 		out = append(out, x.vector(orig, a, len(allAS), len(allCountry), len(allQueriers), totalBuckets))
 	}
 	// Deterministic order: by footprint descending, address ascending.
@@ -167,6 +192,7 @@ func (x *Extractor) Extract(recs []dnslog.Record, start simtime.Time, dur simtim
 		}
 		return out[i].Originator < out[j].Originator
 	})
+	sp.End()
 	return out
 }
 

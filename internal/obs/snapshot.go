@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"encoding/json"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Snapshot renders every metric as sorted text, one metric per line:
+//
+//	dnsserver_queries_total{authority="final"} 42
+//	stage_ticks_count{stage="dedup"} 4
+//
+// Counters and gauges emit one line; histograms emit _count, _sum, _p50,
+// _p90, _p99, and _max lines. Lines are sorted lexically by metric
+// identity, so two registries fed identically produce byte-identical
+// output — tests assert on the exact bytes, and /metrics diffs are
+// meaningful.
+func (r *Registry) Snapshot() []byte {
+	if r == nil {
+		return []byte{}
+	}
+	var lines []string
+	r.mu.Lock()
+	for id, c := range r.counters {
+		lines = append(lines, id+" "+strconv.FormatUint(c.Value(), 10))
+	}
+	for id, g := range r.gauges {
+		lines = append(lines, id+" "+strconv.FormatInt(g.Value(), 10))
+	}
+	for id, h := range r.hists {
+		name, labels := splitID(id)
+		suffix := func(s string, v uint64) string {
+			return name + "_" + s + labels + " " + strconv.FormatUint(v, 10)
+		}
+		lines = append(lines,
+			suffix("count", h.Count()),
+			suffix("sum", h.Sum()),
+			suffix("p50", h.Quantile(0.5)),
+			suffix("p90", h.Quantile(0.9)),
+			suffix("p99", h.Quantile(0.99)),
+			suffix("max", h.Max()))
+	}
+	r.mu.Unlock()
+	sort.Strings(lines)
+	var b strings.Builder
+	for _, l := range lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}
+
+// splitID separates a metric identity into base name and label block
+// (`x{a="b"}` → `x`, `{a="b"}`).
+func splitID(id string) (name, labels string) {
+	if i := strings.IndexByte(id, '{'); i >= 0 {
+		return id[:i], id[i:]
+	}
+	return id, ""
+}
+
+// counterJSON is one counter or gauge in the JSON snapshot.
+type counterJSON struct {
+	Metric string `json:"metric"`
+	Value  int64  `json:"value"`
+}
+
+// histJSON is one histogram in the JSON snapshot.
+type histJSON struct {
+	Metric string  `json:"metric"`
+	Count  uint64  `json:"count"`
+	Sum    uint64  `json:"sum"`
+	Mean   float64 `json:"mean"`
+	P50    uint64  `json:"p50"`
+	P90    uint64  `json:"p90"`
+	P99    uint64  `json:"p99"`
+	Max    uint64  `json:"max"`
+}
+
+// snapshotJSON is the full JSON snapshot document.
+type snapshotJSON struct {
+	Counters   []counterJSON `json:"counters"`
+	Gauges     []counterJSON `json:"gauges"`
+	Histograms []histJSON    `json:"histograms"`
+}
+
+// SnapshotJSON renders every metric as a JSON document with the same
+// determinism guarantee as Snapshot: entries sorted by metric identity.
+func (r *Registry) SnapshotJSON() []byte {
+	doc := snapshotJSON{
+		Counters:   []counterJSON{},
+		Gauges:     []counterJSON{},
+		Histograms: []histJSON{},
+	}
+	if r != nil {
+		r.mu.Lock()
+		for id, c := range r.counters {
+			doc.Counters = append(doc.Counters, counterJSON{Metric: id, Value: int64(c.Value())})
+		}
+		for id, g := range r.gauges {
+			doc.Gauges = append(doc.Gauges, counterJSON{Metric: id, Value: g.Value()})
+		}
+		for id, h := range r.hists {
+			doc.Histograms = append(doc.Histograms, histJSON{
+				Metric: id, Count: h.Count(), Sum: h.Sum(), Mean: h.Mean(),
+				P50: h.Quantile(0.5), P90: h.Quantile(0.9), P99: h.Quantile(0.99),
+				Max: h.Max(),
+			})
+		}
+		r.mu.Unlock()
+	}
+	sort.Slice(doc.Counters, func(i, j int) bool { return doc.Counters[i].Metric < doc.Counters[j].Metric })
+	sort.Slice(doc.Gauges, func(i, j int) bool { return doc.Gauges[i].Metric < doc.Gauges[j].Metric })
+	sort.Slice(doc.Histograms, func(i, j int) bool { return doc.Histograms[i].Metric < doc.Histograms[j].Metric })
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		// The document is built from plain structs; Marshal cannot fail.
+		return []byte("{}")
+	}
+	return append(out, '\n')
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"dnsbackscatter/internal/simtime"
+)
+
+// Clock supplies the instant used to time spans. It is simtime-compatible
+// so instrumented packages never read the wall clock themselves:
+// simulations and tests install TickClock (exactly reproducible),
+// operational mains may install simtime.Wall or a finer wall-backed
+// closure (cmd/ is exempt from the determinism check). The unit of span
+// durations is whatever the installed clock counts — ticks, seconds, or
+// microseconds.
+type Clock func() simtime.Time
+
+// TickClock returns a deterministic Clock that advances by step on every
+// reading. Span durations then count clock readings between start and
+// end, which is a pure function of control flow — two identical runs
+// report identical "durations". The returned clock is safe for concurrent
+// use.
+func TickClock(step simtime.Duration) Clock {
+	if step <= 0 {
+		step = 1
+	}
+	var n atomic.Int64
+	return func() simtime.Time { return simtime.Time(n.Add(1) * int64(step)) }
+}
+
+// SetClock installs the span-timing clock. Nil reverts to the no-clock
+// default (spans record zero durations but still count calls).
+func (r *Registry) SetClock(c Clock) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.clock = c
+}
+
+// now reads the registry clock (0 with no clock installed).
+func (r *Registry) now() simtime.Time {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	c := r.clock
+	r.mu.Unlock()
+	if c == nil {
+		return 0
+	}
+	return c()
+}
+
+// stageHist is the histogram family every span records into; StageReport
+// scans for it.
+const stageHist = "stage_ticks"
+
+// Span is one timed pipeline stage execution. Obtain with StartSpan, close
+// with End. The zero Span (from a nil registry) is a no-op.
+type Span struct {
+	reg   *Registry
+	stage string
+	start simtime.Time
+}
+
+// StartSpan begins timing one execution of a named pipeline stage.
+func (r *Registry) StartSpan(stage string) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{reg: r, stage: stage, start: r.now()}
+}
+
+// End records the span's duration (in clock units) into the
+// stage_ticks{stage=...} histogram.
+func (s Span) End() {
+	if s.reg == nil {
+		return
+	}
+	d := s.reg.now().Sub(s.start)
+	s.reg.Histogram(stageHist, L("stage", s.stage)).Observe(int64(d))
+}
+
+// stageRow is one line of the stage report.
+type stageRow struct {
+	stage string
+	h     *Histogram
+}
+
+// StageReport renders every recorded pipeline stage as a sorted table:
+// calls, total/mean/p50/max duration in clock units. It is deterministic
+// for deterministic clocks and empty ("no stages recorded") when nothing
+// ran.
+func (r *Registry) StageReport() string {
+	if r == nil {
+		return "no stages recorded\n"
+	}
+	prefix := stageHist + `{stage="`
+	r.mu.Lock()
+	var rows []stageRow
+	for id, h := range r.hists {
+		if !strings.HasPrefix(id, prefix) {
+			continue
+		}
+		stage := strings.TrimSuffix(strings.TrimPrefix(id, prefix), `"}`)
+		rows = append(rows, stageRow{stage: stage, h: h})
+	}
+	r.mu.Unlock()
+	sort.Slice(rows, func(i, j int) bool { return rows[i].stage < rows[j].stage })
+	if len(rows) == 0 {
+		return "no stages recorded\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %8s %12s %12s %12s %12s\n",
+		"stage", "calls", "total", "mean", "p50", "max")
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-12s %8d %12d %12.1f %12d %12d\n",
+			row.stage, row.h.Count(), row.h.Sum(), row.h.Mean(),
+			row.h.Quantile(0.5), row.h.Max())
+	}
+	return b.String()
+}

@@ -24,6 +24,11 @@ type Store struct {
 	// Heavy enables the most expensive trial points (the 10% and 100%
 	// controlled scans of Figure 4).
 	Heavy bool
+	// Obs, when non-nil, attaches this registry to every dataset the
+	// store builds (BuildObserved), so one bsrepro run accumulates
+	// world, cache, and pipeline-stage metrics across experiments. Set
+	// it before the first Get.
+	Obs *backscatter.Registry
 
 	mu sync.Mutex
 	ds map[string]*backscatter.Dataset // guarded by mu
@@ -44,7 +49,7 @@ func (s *Store) Get(spec backscatter.DatasetSpec) *backscatter.Dataset {
 	if d, ok := s.ds[spec.Name]; ok {
 		return d
 	}
-	d := backscatter.Build(spec.Scaled(s.Scale))
+	d := backscatter.BuildObserved(spec.Scaled(s.Scale), s.Obs)
 	s.ds[spec.Name] = d
 	return d
 }

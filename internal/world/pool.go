@@ -6,6 +6,7 @@ import (
 	"dnsbackscatter/internal/dnssim"
 	"dnsbackscatter/internal/geo"
 	"dnsbackscatter/internal/ipaddr"
+	"dnsbackscatter/internal/obs"
 	"dnsbackscatter/internal/qname"
 	"dnsbackscatter/internal/rng"
 	"dnsbackscatter/internal/simtime"
@@ -43,6 +44,22 @@ type querierPool struct {
 
 	byKey  map[poolKey]*Querier
 	byAddr map[ipaddr.Addr]*Querier
+
+	obs *obs.Registry // instruments resolver caches as slots materialize
+}
+
+// setMetrics instruments the caches of every materialized resolver and of
+// all resolvers created afterwards; they aggregate under the shared
+// "resolver" cache name. A nil registry stops instrumenting new slots
+// (already-materialized resolvers keep their counters).
+func (p *querierPool) setMetrics(reg *obs.Registry) {
+	p.obs = reg
+	if reg == nil {
+		return
+	}
+	for _, q := range p.byAddr {
+		q.Resolver.SetCacheMetrics(reg)
+	}
 }
 
 func newQuerierPool(g *geo.Registry, src *rng.Source, ranks int, zipfS float64) *querierPool {
@@ -126,6 +143,9 @@ func (p *querierPool) get(k poolKey) *Querier {
 	}
 	if p.qminFraction > 0 && st.Bool(p.qminFraction) {
 		q.Resolver.QNameMin = true
+	}
+	if p.obs != nil {
+		q.Resolver.SetCacheMetrics(p.obs)
 	}
 	p.byKey[k] = q
 	p.byAddr[addr] = q

@@ -27,6 +27,7 @@ func (w *World) pickTarget(global bool, home string, st *rng.Stream) ipaddr.Addr
 // and misbehaving-P2P touches also feed the darknet: each touch stands for
 // a much larger raw probe volume, thinned at the darknet's space fraction.
 func (w *World) touch(c *activity.Campaign, e activity.Event) {
+	w.m.event()
 	mix := w.mixes[c.Originator]
 	q := w.pool.forTarget(c.Originator, &mix, e.Target)
 	w.Hier.Resolve(q.Resolver, c.Originator, e.Time)
@@ -165,6 +166,7 @@ func (w *World) spawn(cls activity.Class, start simtime.Time, port string, maxEn
 }
 
 func (w *World) register(c *activity.Campaign, st *rng.Stream) {
+	w.m.birth(c.Class)
 	w.Campaigns = append(w.Campaigns, c)
 	w.truth[c.Originator] = Truth{Class: c.Class, Port: c.Port, Team: c.Team}
 	w.profiles[c.Originator] = w.profileForClass(c.Class, c.Originator, st)
@@ -218,6 +220,16 @@ func (w *World) Run() {
 				w.touch(c, e)
 			}
 		}
+	}
+
+	if w.m != nil {
+		for _, c := range w.Campaigns {
+			if c.End != 0 && c.End.Before(end) {
+				w.m.deaths.Inc()
+			}
+		}
+		w.m.campaigns.Set(int64(len(w.Campaigns)))
+		w.m.queriers.Set(int64(w.pool.size()))
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"dnsbackscatter/internal/dnssim"
 	"dnsbackscatter/internal/geo"
 	"dnsbackscatter/internal/ipaddr"
+	"dnsbackscatter/internal/obs"
 	"dnsbackscatter/internal/rng"
 	"dnsbackscatter/internal/simtime"
 )
@@ -152,7 +153,62 @@ type World struct {
 	darkSt   *rng.Stream
 	nextTeam int
 
+	m *worldMetrics
+
 	ran bool
+}
+
+// worldMetrics holds the world's pre-resolved counters and gauges. All
+// methods are no-ops on a nil receiver.
+type worldMetrics struct {
+	reg       *obs.Registry
+	events    *obs.Counter
+	deaths    *obs.Counter
+	births    [activity.NumClasses]*obs.Counter
+	campaigns *obs.Gauge
+	queriers  *obs.Gauge
+}
+
+// SetMetrics instruments the world and everything beneath it: activity
+// events (world_events_total), campaign births per class
+// (world_campaign_births_total{class=...}), campaigns ending inside the
+// simulated span (world_campaign_deaths_total), population gauges
+// (world_campaigns, world_queriers), plus the hierarchy's per-level query
+// counters and the shared resolver-cache counters. Call it before Run; a
+// nil registry uninstruments. The counters are pure functions of the world
+// seed and config, so two identically configured worlds produce identical
+// snapshots.
+func (w *World) SetMetrics(reg *obs.Registry) {
+	w.Hier.SetMetrics(reg)
+	w.pool.setMetrics(reg)
+	if reg == nil {
+		w.m = nil
+		return
+	}
+	m := &worldMetrics{
+		reg:       reg,
+		events:    reg.Counter("world_events_total"),
+		deaths:    reg.Counter("world_campaign_deaths_total"),
+		campaigns: reg.Gauge("world_campaigns"),
+		queriers:  reg.Gauge("world_queriers"),
+	}
+	for cls := activity.Class(0); cls < activity.NumClasses; cls++ {
+		m.births[cls] = reg.Counter("world_campaign_births_total",
+			obs.L("class", cls.String()))
+	}
+	w.m = m
+}
+
+func (m *worldMetrics) event() {
+	if m != nil {
+		m.events.Inc()
+	}
+}
+
+func (m *worldMetrics) birth(cls activity.Class) {
+	if m != nil {
+		m.births[cls].Inc()
+	}
 }
 
 // New builds a world from cfg. Sensors are attached but empty until Run.

@@ -1,0 +1,35 @@
+package backscatter
+
+import (
+	"dnsbackscatter/internal/obs"
+	"dnsbackscatter/internal/simtime"
+)
+
+// Observability re-exports, so tools and library users reach the obs layer
+// without importing internal packages. See BuildObserved for attaching a
+// registry to a simulated dataset.
+type (
+	// Registry collects labeled counters, gauges, histograms, and
+	// pipeline-stage spans; snapshots are byte-deterministic.
+	Registry = obs.Registry
+	// Label is one name=value metric dimension.
+	Label = obs.Label
+)
+
+// NewRegistry returns an empty metric registry with no span clock (install
+// one with SetClock; TickClock keeps runs reproducible).
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// TickClock returns a deterministic span clock advancing by step per
+// reading, so stage "durations" count clock readings — identical runs
+// report identical numbers.
+func TickClock(step Duration) obs.Clock { return obs.TickClock(step) }
+
+// WallClock returns a span clock backed by the wall clock in whole seconds
+// (simtime.Wall) — for operational use in mains, where determinism rules
+// do not apply.
+func WallClock() obs.Clock { return simtime.Wall }
+
+// Metrics returns the registry this dataset records into, or nil when the
+// dataset was built without one (plain Build).
+func (d *Dataset) Metrics() *Registry { return d.obs }
