@@ -10,11 +10,12 @@
 # actually share state across goroutines.
 
 GO ?= go
-RACE_PKGS = ./internal/cache ./internal/dnsserver ./internal/obs ./internal/report
+RACE_PKGS = ./internal/cache ./internal/dnsserver ./internal/obs ./internal/report \
+	./internal/parallel ./internal/features ./internal/ml ./internal/classify
 
-.PHONY: verify fmt vet lint build test race bench
+.PHONY: verify fmt vet lint build test race bench docs determinism
 
-verify: fmt vet lint build test race
+verify: fmt vet lint build test race docs
 	@echo "verify: all checks passed"
 
 fmt:
@@ -38,8 +39,20 @@ test:
 race:
 	$(GO) test -race $(RACE_PKGS)
 
+# Docs lint: exported-API doc comments (bslint apidoc) and Markdown
+# relative-link integrity (cmd/mdlint).
+docs:
+	$(GO) run ./cmd/bslint -determinism=false -locksafe=false -errcheck=false ./...
+	$(GO) run ./cmd/mdlint
+
+# End-to-end worker-count determinism under the race detector — the
+# CI job runs this with GOMAXPROCS=2 so parallel paths really interleave.
+determinism:
+	$(GO) test -race -run TestSeedMatrixDeterminism -v .
+
 # Benchmark trajectory: run the paper-reproduction benchmark suite once
-# per benchmark and record name/ns/op/B/op/allocs into BENCH_PR2.json so
-# later PRs can diff performance. BS_SCALE tunes dataset size as usual.
+# per benchmark and record name/ns/op/B/op/allocs into BENCH_PR3.json so
+# later PRs can diff performance. BS_SCALE tunes dataset size as usual;
+# the BenchmarkParallel* entries compare worker counts 1 and 8 directly.
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . | $(GO) run ./cmd/bsbench -o BENCH_PR2.json
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . | $(GO) run ./cmd/bsbench -o BENCH_PR3.json

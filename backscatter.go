@@ -26,6 +26,15 @@
 //	for orig, class := range model.ClassifyAll(ds.Whole()) {
 //	    fmt.Println(orig, class)
 //	}
+//
+// # Determinism and parallelism
+//
+// Every run is a pure function of its DatasetSpec: randomness comes only
+// from seeded streams, time only from the simulated clock. The heavy
+// pipeline stages (extract, train, validate, classify) run on a bounded
+// worker pool — DatasetSpec.Workers or WithParallelism sets the width —
+// and any worker count produces byte-identical snapshots, models, and
+// reports. See ARCHITECTURE.md for the contract that keeps this true.
 package backscatter
 
 import (

@@ -63,6 +63,7 @@ func (d *Dataset) TrainWith(alg Algorithm, votes int, labels *LabeledSet) (*Mode
 	p := classify.NewPipeline()
 	p.Trainer = alg.Trainer()
 	p.Obs = d.obs
+	p.Workers = d.Spec.Workers
 	if votes > 1 {
 		p.Votes = votes
 	}
@@ -79,7 +80,14 @@ func (d *Dataset) Validate(alg Algorithm, trainFrac float64, runs int) (ml.Valid
 		return ml.ValidationResult{}, err
 	}
 	st := rng.NewSource(d.Spec.Seed).Stream("validate-" + alg.String())
-	return ml.CrossValidate(alg.Trainer(), ds, trainFrac, runs, st), nil
+	v := ml.Validator{
+		Trainer:   alg.Trainer(),
+		TrainFrac: trainFrac,
+		Runs:      runs,
+		Workers:   d.Spec.Workers,
+		Obs:       d.obs,
+	}
+	return v.Run(ds, st), nil
 }
 
 // FeatureImportance trains a Random Forest on the dataset's labels and
@@ -92,7 +100,8 @@ func (d *Dataset) FeatureImportance(k int) ([]string, []float64, error) {
 		return nil, nil, err
 	}
 	st := rng.NewSource(d.Spec.Seed).Stream("importance")
-	forest := ml.Forest{Config: ml.ForestConfig{Trees: 100}}.TrainForest(ds, st)
+	cfg := ml.ForestConfig{Trees: 100, Workers: d.Spec.Workers, Obs: d.obs}
+	forest := ml.Forest{Config: cfg}.TrainForest(ds, st)
 	names := FeatureNames()
 	var outNames []string
 	var outVals []float64

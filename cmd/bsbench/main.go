@@ -28,6 +28,9 @@ type result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// Workers stamps the pipeline worker count the run used (-workers),
+	// so trajectory files from different parallelism are distinguishable.
+	Workers int `json:"workers,omitempty"`
 }
 
 // benchLine matches standard testing benchmark output, with the GOMAXPROCS
@@ -54,6 +57,7 @@ func parse(line string) (result, bool) {
 
 func main() {
 	out := flag.String("o", "", "write parsed results as JSON to this file (stdout JSON when empty)")
+	workers := flag.Int("workers", 0, "stamp this pipeline worker count into every result (0 = omit)")
 	flag.Parse()
 
 	var results []result
@@ -63,6 +67,7 @@ func main() {
 		line := sc.Text()
 		fmt.Println(line)
 		if r, ok := parse(line); ok {
+			r.Workers = *workers
 			results = append(results, r)
 		}
 	}

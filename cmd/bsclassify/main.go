@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	backscatter "dnsbackscatter"
@@ -43,6 +44,7 @@ func main() {
 		top      = flag.Int("top", 30, "print the top-N originators")
 		minQ     = flag.Int("minqueriers", 20, "analyzability threshold")
 		showAll  = flag.Bool("all", false, "print every classified originator")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "pipeline worker goroutines (1 = sequential; output is identical either way)")
 	)
 	flag.Parse()
 
@@ -77,6 +79,7 @@ func main() {
 		return e.name, e.unreach
 	})
 	x.MinQueriers = *minQ
+	x.Workers = *workers
 
 	start := recs[0].Time
 	end := recs[0].Time
@@ -99,6 +102,7 @@ func main() {
 	fmt.Fprintf(os.Stderr, "bsclassify: curated %d labeled examples\n", labeled.Total())
 
 	p := classify.NewPipeline()
+	p.Workers = *workers
 	switch strings.ToLower(*alg) {
 	case "cart":
 		p.Trainer = ml.CART{Config: ml.CARTConfig{MaxDepth: 12}}

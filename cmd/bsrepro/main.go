@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -23,11 +24,12 @@ import (
 
 func main() {
 	var (
-		scale = flag.Float64("scale", 0.5, "dataset population scale (1 = spec defaults)")
-		exps  = flag.String("experiment", "all", "comma-separated experiment names, or all")
-		heavy = flag.Bool("heavy", false, "run the most expensive trial points too")
-		list  = flag.Bool("list", false, "list experiments and exit")
-		stats = flag.Bool("stats", false, "print pipeline stage timings (µs) and metric totals after each experiment")
+		scale   = flag.Float64("scale", 0.5, "dataset population scale (1 = spec defaults)")
+		exps    = flag.String("experiment", "all", "comma-separated experiment names, or all")
+		heavy   = flag.Bool("heavy", false, "run the most expensive trial points too")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		stats   = flag.Bool("stats", false, "print pipeline stage timings (µs) and metric totals after each experiment")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "pipeline worker goroutines (1 = sequential; output is identical either way)")
 	)
 	flag.Parse()
 
@@ -40,6 +42,7 @@ func main() {
 
 	store := report.NewStore(*scale)
 	store.Heavy = *heavy
+	store.Workers = *workers
 
 	var reg *obs.Registry
 	if *stats {

@@ -1,0 +1,156 @@
+// Command mdlint checks the repository's Markdown files: every relative
+// link and bare back-ticked file reference must point at a path that
+// exists, so docs cannot silently rot as files move.
+//
+// Usage:
+//
+//	mdlint            # lint *.md under the current directory
+//	mdlint DIR...     # lint *.md under each DIR
+//
+// Checked forms:
+//
+//   - [text](relative/path) — inline links; absolute URLs (scheme://),
+//     #fragments, and mailto: are skipped, a trailing #fragment is
+//     stripped before the existence check.
+//   - `path/file.ext` — back-ticked references that look like repo paths
+//     (contain a slash or end in .md/.json/.go); command lines, globs,
+//     and code spans with spaces are skipped.
+//
+// Exit status 1 if any reference is broken.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+var (
+	// linkRe captures the target of [text](target) inline links.
+	linkRe = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+	// tickRe captures single-back-ticked spans.
+	tickRe = regexp.MustCompile("`([^`\n]+)`")
+	// pathy decides whether a back-ticked span is meant as a repo path.
+	pathy = regexp.MustCompile(`^[\w./-]+$`)
+)
+
+// skipLink reports whether a link target is out of scope: external URLs,
+// in-page fragments, and mail links.
+func skipLink(target string) bool {
+	return strings.Contains(target, "://") ||
+		strings.HasPrefix(target, "#") ||
+		strings.HasPrefix(target, "mailto:")
+}
+
+// checkFile returns one message per broken reference in the file.
+func checkFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	dir := filepath.Dir(path)
+	var broken []string
+	inFence := false
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if skipLink(target) {
+				continue
+			}
+			target, _, _ = strings.Cut(target, "#")
+			if target == "" {
+				continue
+			}
+			if _, err := os.Stat(filepath.Join(dir, target)); err != nil {
+				broken = append(broken, fmt.Sprintf("%s:%d: broken link %q", path, i+1, m[1]))
+			}
+		}
+		for _, m := range tickRe.FindAllStringSubmatch(line, -1) {
+			ref := m[1]
+			if !pathy.MatchString(ref) {
+				continue
+			}
+			// URL paths (`/metrics.json`) and bare extensions (`.md`)
+			// are not repo references.
+			if strings.HasPrefix(ref, "/") || strings.HasPrefix(ref, ".") {
+				continue
+			}
+			// Only spans that unambiguously name repo files: a slash-free
+			// span must be a Markdown or JSON document at the repo level.
+			slashed := strings.Contains(ref, "/")
+			doc := strings.HasSuffix(ref, ".md") || strings.HasSuffix(ref, ".json")
+			if !doc && !slashed {
+				continue
+			}
+			if slashed && !doc && !strings.HasSuffix(ref, ".go") {
+				// Directory-ish references (internal/obs, cmd/bsgen, a/b
+				// flags): require existence only when they parse as an
+				// extant path layout; skip everything else to avoid
+				// false positives on prose like "originator/querier".
+				if _, err := os.Stat(filepath.Join(dir, ref)); err != nil {
+					continue
+				}
+			}
+			if _, err := os.Stat(filepath.Join(dir, ref)); err != nil {
+				broken = append(broken, fmt.Sprintf("%s:%d: broken file reference %q", path, i+1, ref))
+			}
+		}
+	}
+	return broken, nil
+}
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	var files []string
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				if name := d.Name(); name == ".git" || name == "testdata" {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if strings.HasSuffix(path, ".md") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mdlint:", err)
+			os.Exit(1)
+		}
+	}
+	bad := 0
+	for _, f := range files {
+		broken, err := checkFile(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mdlint:", err)
+			os.Exit(1)
+		}
+		for _, msg := range broken {
+			fmt.Println(msg)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "mdlint: %d broken reference(s) in %d file(s)\n", bad, len(files))
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "mdlint: %d file(s) clean\n", len(files))
+}

@@ -2,6 +2,7 @@ package backscatter
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"dnsbackscatter/internal/activity"
@@ -57,12 +58,25 @@ type DatasetSpec struct {
 	// TeamProb is the probability a scan campaign spawns as a /24 team
 	// (§VI-B). Negative disables teams; 0 uses the world default.
 	TeamProb float64
+
+	// Workers bounds the goroutines each pipeline stage (extract, train,
+	// validate, classify) may use; <= 0 uses runtime.GOMAXPROCS(0) and 1
+	// reproduces the sequential code path exactly. Every worker count
+	// yields byte-identical snapshots, models, and metrics.
+	Workers int
 }
 
 // Scaled returns a copy with populations and rates multiplied by f — the
 // single knob for shrinking simulations in tests.
 func (s DatasetSpec) Scaled(f float64) DatasetSpec {
 	s.Scale *= f
+	return s
+}
+
+// WithParallelism returns a copy that runs pipeline stages on up to n
+// goroutines (see Workers). Output is byte-identical for every n.
+func (s DatasetSpec) WithParallelism(n int) DatasetSpec {
+	s.Workers = n
 	return s
 }
 
@@ -227,6 +241,9 @@ type Dataset struct {
 
 	whole *Snapshot
 	obs   *obs.Registry // non-nil when built with BuildObserved
+
+	truthOnce sync.Once
+	truth     map[Addr]Class
 }
 
 // heartbleedBurst models the post-announcement scanning surge: the paper
@@ -308,6 +325,7 @@ func BuildObserved(spec DatasetSpec, reg *obs.Registry) *Dataset {
 
 	d.Extractor = features.NewExtractor(w.Geo, w.QuerierName)
 	d.Extractor.Obs = reg
+	d.Extractor.Workers = spec.Workers
 	if spec.MinQueriers > 0 {
 		d.Extractor.MinQueriers = spec.MinQueriers
 	}
@@ -345,13 +363,17 @@ func (d *Dataset) FullTruth(a Addr) (cls Class, port string, team int, ok bool) 
 	return tr.Class, tr.Port, tr.Team, ok
 }
 
-// TruthMap returns all originator classes (read-only by convention).
+// TruthMap returns all originator classes. The map is built once and
+// shared across calls (and across workers) — treat it as read-only.
 func (d *Dataset) TruthMap() map[Addr]Class {
-	out := make(map[Addr]Class, len(d.World.TruthMap()))
-	for a, tr := range d.World.TruthMap() {
-		out[a] = tr.Class
-	}
-	return out
+	d.truthOnce.Do(func() {
+		wt := d.World.TruthMap()
+		d.truth = make(map[Addr]Class, len(wt))
+		for a, tr := range wt {
+			d.truth[a] = tr.Class
+		}
+	})
+	return d.truth
 }
 
 // ReverseQueries reports how many reverse queries arrived at the dataset's

@@ -43,6 +43,55 @@ func ExampleDatasetSpec_Scaled() {
 	// JP-ditl jp true
 }
 
+// ExampleDatasetSpec_WithParallelism runs the same build-train-classify
+// pipeline sequentially and on eight workers: parallelism changes the
+// wall-clock, never the output.
+func ExampleDatasetSpec_WithParallelism() {
+	run := func(workers int) map[backscatter.Addr]backscatter.Class {
+		spec := backscatter.JPDitl().Scaled(0.3).WithParallelism(workers)
+		spec.Duration = backscatter.Duration(12 * 3600)
+		spec.Interval = spec.Duration
+		spec.MinQueriers = 8
+		ds := backscatter.Build(spec)
+		model, err := ds.TrainClassifier(1)
+		if err != nil {
+			fmt.Println("train:", err)
+			return nil
+		}
+		return model.ClassifyAll(ds.Whole())
+	}
+	sequential, parallel := run(1), run(8)
+	identical := len(sequential) == len(parallel)
+	for a, cls := range sequential {
+		if parallel[a] != cls {
+			identical = false
+		}
+	}
+	fmt.Println(len(sequential) > 10, identical)
+	// Output:
+	// true true
+}
+
+// ExampleDataset_NewStreamExtractor feeds a dataset's records through the
+// bounded-memory streaming extractor — the operational alternative to
+// Extract when logs exceed memory — and snapshots approximate vectors.
+func ExampleDataset_NewStreamExtractor() {
+	spec := backscatter.JPDitl().Scaled(0.3)
+	spec.Duration = backscatter.Duration(12 * 3600)
+	spec.Interval = spec.Duration
+	spec.MinQueriers = 8
+	ds := backscatter.Build(spec)
+
+	x := ds.NewStreamExtractor()
+	for _, r := range ds.Records {
+		x.Observe(r)
+	}
+	vectors := x.Snapshot(spec.Start, spec.Duration)
+	fmt.Println(x.Tracked() > 0, len(vectors) > 10)
+	// Output:
+	// true true
+}
+
 // Example_pipeline builds a tiny dataset and runs the full Figure 2
 // pipeline: curated labels → Random Forest → originator classes.
 func Example_pipeline() {

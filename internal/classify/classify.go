@@ -17,6 +17,7 @@ import (
 	"dnsbackscatter/internal/ipaddr"
 	"dnsbackscatter/internal/ml"
 	"dnsbackscatter/internal/obs"
+	"dnsbackscatter/internal/parallel"
 	"dnsbackscatter/internal/rng"
 	"dnsbackscatter/internal/simtime"
 )
@@ -98,6 +99,10 @@ type Pipeline struct {
 	// Figure 2 pipeline (trained models inherit it) and counts
 	// classifications (pipeline_classified_total).
 	Obs *obs.Registry
+	// Workers bounds training and classification goroutines; <= 0 uses
+	// GOMAXPROCS(0) and 1 runs sequentially. Trained models and their
+	// classifications are byte-identical for every worker count.
+	Workers int
 }
 
 // NewPipeline returns a pipeline with the paper's defaults: Random Forest
@@ -116,8 +121,9 @@ var ErrTooFewExamples = errors.New("classify: too few labeled examples to train"
 
 // Model is a trained originator classifier.
 type Model struct {
-	clf ml.Classifier
-	obs *obs.Registry // inherited from the training pipeline; may be nil
+	clf     ml.Classifier
+	obs     *obs.Registry // inherited from the training pipeline; may be nil
+	workers int           // inherited from the training pipeline
 }
 
 // TrainingSet assembles the ml design matrix from labels that re-appear in
@@ -162,6 +168,22 @@ func (p *Pipeline) TrainingSet(s *Snapshot, labels *groundtruth.LabeledSet) (*ml
 	return ds, addrs, nil
 }
 
+// trainer returns p.Trainer with the pipeline's parallelism and
+// instrumentation threaded into trainers that support them (Random
+// Forest); explicit per-trainer settings win.
+func (p *Pipeline) trainer() ml.Trainer {
+	if f, ok := p.Trainer.(ml.Forest); ok {
+		if f.Config.Workers == 0 {
+			f.Config.Workers = p.Workers
+		}
+		if f.Config.Obs == nil {
+			f.Config.Obs = p.Obs
+		}
+		return f
+	}
+	return p.Trainer
+}
+
 // Train fits a model on the labels as observed in snapshot s.
 func (p *Pipeline) Train(s *Snapshot, labels *groundtruth.LabeledSet, st *rng.Stream) (*Model, error) {
 	sp := p.Obs.StartSpan("train")
@@ -170,10 +192,12 @@ func (p *Pipeline) Train(s *Snapshot, labels *groundtruth.LabeledSet, st *rng.St
 	if err != nil {
 		return nil, err
 	}
+	tr := p.trainer()
 	if p.Votes > 1 {
-		return &Model{clf: ml.TrainMajority(p.Trainer, ds, p.Votes, st), obs: p.Obs}, nil
+		clf := ml.TrainMajorityWorkers(tr, ds, p.Votes, p.Workers, st)
+		return &Model{clf: clf, obs: p.Obs, workers: p.Workers}, nil
 	}
-	return &Model{clf: p.Trainer.Train(ds, st), obs: p.Obs}, nil
+	return &Model{clf: tr.Train(ds, st), obs: p.Obs, workers: p.Workers}, nil
 }
 
 // Classify labels one feature vector.
@@ -183,12 +207,20 @@ func (m *Model) Classify(v *features.Vector) activity.Class {
 
 // ClassifyAll labels every analyzable originator in the snapshot — the
 // final stage of the Figure 2 pipeline, timed under the "classify" span
-// when the training pipeline was instrumented.
+// when the training pipeline was instrumented. Originators are predicted
+// in parallel across the pipeline's workers (batch prediction only reads
+// trained state); the label map is identical for every worker count.
 func (m *Model) ClassifyAll(s *Snapshot) map[ipaddr.Addr]activity.Class {
 	sp := m.obs.StartSpan("classify")
+	rows := make([][]float64, len(s.Vectors))
+	for i, v := range s.Vectors {
+		rows[i] = v.X[:]
+	}
+	pool := parallel.Pool{Workers: m.workers, Obs: m.obs, Stage: "classify"}
+	preds := ml.PredictBatch(m.clf, rows, pool)
 	out := make(map[ipaddr.Addr]activity.Class, len(s.Vectors))
-	for _, v := range s.Vectors {
-		out[v.Originator] = m.Classify(v)
+	for i, v := range s.Vectors {
+		out[v.Originator] = activity.Class(preds[i])
 	}
 	sp.End()
 	m.obs.Counter("pipeline_classified_total").Add(uint64(len(out)))

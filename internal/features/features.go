@@ -19,6 +19,7 @@ import (
 	"dnsbackscatter/internal/geo"
 	"dnsbackscatter/internal/ipaddr"
 	"dnsbackscatter/internal/obs"
+	"dnsbackscatter/internal/parallel"
 	"dnsbackscatter/internal/qname"
 	"dnsbackscatter/internal/simtime"
 )
@@ -102,6 +103,12 @@ type Extractor struct {
 	// (pipeline_records_total, pipeline_records_kept_total,
 	// pipeline_originators_total, pipeline_analyzable_total).
 	Obs *obs.Registry
+	// Workers bounds the goroutines Extract fans originators across;
+	// <= 0 uses runtime.GOMAXPROCS(0) and 1 runs sequentially. Output
+	// is byte-identical for every worker count (the determinism
+	// contract of ARCHITECTURE.md); with Workers != 1, Geo and NameOf
+	// must be safe for concurrent read-only use.
+	Workers int
 }
 
 // NewExtractor returns an extractor with the paper's defaults.
@@ -116,6 +123,31 @@ type originatorAgg struct {
 	buckets  map[int]struct{}
 }
 
+// extractShards is the fixed originator-shard count for the dedup and
+// filter stages. It is constant — not derived from Workers — so the
+// shard metrics and every intermediate result are identical whatever
+// the worker count; workers merely drain the shards faster.
+const extractShards = 16
+
+// shardOf deterministically assigns an originator to a shard. The 30 s
+// dedup window is per (originator, querier), so splitting the record
+// stream by originator preserves every keep/drop decision.
+func shardOf(a ipaddr.Addr) int {
+	z := uint64(a) * 0x9e3779b97f4a7c15
+	z ^= z >> 29
+	return int(z % extractShards)
+}
+
+// shardAgg is one shard's dedup output: per-originator state plus the
+// shard's interval-level querier view.
+type shardAgg struct {
+	kept      int
+	aggs      map[ipaddr.Addr]*originatorAgg
+	queriers  map[ipaddr.Addr]struct{}
+	ases      map[int]struct{}
+	countries map[string]struct{}
+}
+
 // Extract computes vectors for every analyzable originator in recs, which
 // must be time-ordered per (originator, querier) pair (sensor output is).
 // The interval spans [start, start+dur) for persistence normalization.
@@ -123,68 +155,125 @@ type originatorAgg struct {
 // The three local stages of the Figure 2 pipeline run in order — dedup
 // (30 s window), filter (analyzability threshold), extract (vector
 // computation) — each under an Obs span when instrumented; classification
-// is the fourth stage, owned by package classify.
+// is the fourth stage, owned by package classify. Dedup and filter shard
+// by originator and extract fans out per originator, all across Workers
+// goroutines with index-ordered merges, so the returned vectors are
+// byte-identical for every worker count.
 func (x *Extractor) Extract(recs []dnslog.Record, start simtime.Time, dur simtime.Duration) []*Vector {
+	pool := parallel.Pool{Workers: x.Workers, Obs: x.Obs}
+
+	// Dedup stage: partition the stream by originator (stable, so each
+	// shard stays time-ordered per pair), then dedup and aggregate each
+	// shard independently.
 	sp := x.Obs.StartSpan("dedup")
-	dedup := dnslog.NewDeduper(x.DedupWindow)
-	aggs := make(map[ipaddr.Addr]*originatorAgg)
-	kept := 0
+	parts := make([][]dnslog.Record, extractShards)
 	for _, r := range recs {
-		if !dedup.Keep(r) {
-			continue
-		}
-		kept++
-		a := aggs[r.Originator]
-		if a == nil {
-			a = &originatorAgg{
-				queriers: make(map[ipaddr.Addr]struct{}),
-				buckets:  make(map[int]struct{}),
+		s := shardOf(r.Originator)
+		parts[s] = append(parts[s], r)
+	}
+	pool.Stage = "dedup"
+	shards := parallel.Map(pool, extractShards, func(s int) *shardAgg {
+		sh := &shardAgg{aggs: make(map[ipaddr.Addr]*originatorAgg)}
+		dedup := dnslog.NewDeduper(x.DedupWindow)
+		for _, r := range parts[s] {
+			if !dedup.Keep(r) {
+				continue
 			}
-			aggs[r.Originator] = a
+			sh.kept++
+			a := sh.aggs[r.Originator]
+			if a == nil {
+				a = &originatorAgg{
+					queriers: make(map[ipaddr.Addr]struct{}),
+					buckets:  make(map[int]struct{}),
+				}
+				sh.aggs[r.Originator] = a
+			}
+			a.queries++
+			a.queriers[r.Querier] = struct{}{}
+			a.buckets[r.Time.TenMinuteBucket()] = struct{}{}
 		}
-		a.queries++
-		a.queriers[r.Querier] = struct{}{}
-		a.buckets[r.Time.TenMinuteBucket()] = struct{}{}
+		return sh
+	})
+	kept, originators := 0, 0
+	for _, sh := range shards {
+		kept += sh.kept
+		originators += len(sh.aggs)
 	}
 	sp.End()
 	x.Obs.Counter("pipeline_records_total").Add(uint64(len(recs)))
 	x.Obs.Counter("pipeline_records_kept_total").Add(uint64(kept))
-	x.Obs.Counter("pipeline_originators_total").Add(uint64(len(aggs)))
+	x.Obs.Counter("pipeline_originators_total").Add(uint64(originators))
 
 	// Filter stage: interval-level normalizers (every AS and country
 	// observed across all queriers this interval), then the §III-B
-	// analyzability threshold.
+	// analyzability threshold. Each shard dedups its own querier view;
+	// the union across shards is order-independent.
 	sp = x.Obs.StartSpan("filter")
+	pool.Stage = "filter"
+	pool.Each(extractShards, func(s int) {
+		sh := shards[s]
+		sh.queriers = make(map[ipaddr.Addr]struct{})
+		sh.ases = make(map[int]struct{})
+		sh.countries = make(map[string]struct{})
+		for _, a := range sh.aggs {
+			for q := range a.queriers {
+				if _, seen := sh.queriers[q]; seen {
+					continue
+				}
+				sh.queriers[q] = struct{}{}
+				sh.ases[x.Geo.ASN(q)] = struct{}{}
+				sh.countries[x.Geo.Country(q)] = struct{}{}
+			}
+		}
+		for orig, a := range sh.aggs {
+			if len(a.queriers) < x.MinQueriers {
+				delete(sh.aggs, orig)
+			}
+		}
+	})
+	allQueriers := make(map[ipaddr.Addr]struct{})
 	allAS := make(map[int]struct{})
 	allCountry := make(map[string]struct{})
-	allQueriers := make(map[ipaddr.Addr]struct{})
-	for _, a := range aggs {
-		for q := range a.queriers {
-			if _, seen := allQueriers[q]; seen {
-				continue
-			}
+	analyzable := 0
+	for _, sh := range shards {
+		for q := range sh.queriers {
 			allQueriers[q] = struct{}{}
-			allAS[x.Geo.ASN(q)] = struct{}{}
-			allCountry[x.Geo.Country(q)] = struct{}{}
 		}
+		for as := range sh.ases {
+			allAS[as] = struct{}{}
+		}
+		for c := range sh.countries {
+			allCountry[c] = struct{}{}
+		}
+		analyzable += len(sh.aggs)
 	}
 	totalBuckets := int(dur / (10 * simtime.Minute))
 	if totalBuckets < 1 {
 		totalBuckets = 1
 	}
-	for orig, a := range aggs {
-		if len(a.queriers) < x.MinQueriers {
-			delete(aggs, orig)
+	sp.End()
+	x.Obs.Counter("pipeline_analyzable_total").Add(uint64(analyzable))
+
+	// Extract stage: one work item per analyzable originator, gathered
+	// in sorted address order so the fan-out input — and therefore the
+	// index-ordered merge — is deterministic.
+	sp = x.Obs.StartSpan("extract")
+	type workItem struct {
+		orig ipaddr.Addr
+		agg  *originatorAgg
+	}
+	work := make([]workItem, 0, analyzable)
+	for _, sh := range shards {
+		for orig, a := range sh.aggs {
+			work = append(work, workItem{orig, a})
 		}
 	}
-	sp.End()
-	x.Obs.Counter("pipeline_analyzable_total").Add(uint64(len(aggs)))
-
-	sp = x.Obs.StartSpan("extract")
-	var out []*Vector
-	for orig, a := range aggs {
-		out = append(out, x.vector(orig, a, len(allAS), len(allCountry), len(allQueriers), totalBuckets))
-	}
+	sort.Slice(work, func(i, j int) bool { return work[i].orig < work[j].orig })
+	pool.Stage = "extract"
+	out := parallel.Map(pool, len(work), func(i int) *Vector {
+		w := work[i]
+		return x.vector(w.orig, w.agg, len(allAS), len(allCountry), len(allQueriers), totalBuckets)
+	})
 	// Deterministic order: by footprint descending, address ascending.
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Queriers != out[j].Queriers {
@@ -263,11 +352,14 @@ func normEntropy8(counts map[byte]int, n int) float64 {
 
 // normEntropy computes Shannon entropy over counts (which sum to n) and
 // normalizes by log2(min(n, space)) — the entropy of n queriers spread as
-// evenly as the prefix space allows.
+// evenly as the prefix space allows. Counts arrive in map-iteration
+// order, so they are sorted first: float summation order then never
+// depends on map layout, keeping vectors byte-identical run to run.
 func normEntropy(counts []int, n, space int) float64 {
 	if n <= 1 {
 		return 0
 	}
+	sort.Ints(counts)
 	h := 0.0
 	for _, c := range counts {
 		p := float64(c) / float64(n)

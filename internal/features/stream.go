@@ -83,10 +83,19 @@ type kmv struct {
 	addrs  map[uint64]ipaddr.Addr
 }
 
-func (s *kmv) Len() int           { return len(s.hashes) }
-func (s *kmv) Less(i, j int) bool { return s.hashes[i] > s.hashes[j] } // max-heap
-func (s *kmv) Swap(i, j int)      { s.hashes[i], s.hashes[j] = s.hashes[j], s.hashes[i] }
-func (s *kmv) Push(x any)         { s.hashes = append(s.hashes, x.(uint64)) }
+// Len implements heap.Interface.
+func (s *kmv) Len() int { return len(s.hashes) }
+
+// Less implements heap.Interface; > hash makes this a max-heap.
+func (s *kmv) Less(i, j int) bool { return s.hashes[i] > s.hashes[j] }
+
+// Swap implements heap.Interface.
+func (s *kmv) Swap(i, j int) { s.hashes[i], s.hashes[j] = s.hashes[j], s.hashes[i] }
+
+// Push implements heap.Interface.
+func (s *kmv) Push(x any) { s.hashes = append(s.hashes, x.(uint64)) }
+
+// Pop implements heap.Interface.
 func (s *kmv) Pop() any {
 	old := s.hashes
 	n := len(old)

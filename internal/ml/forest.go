@@ -4,6 +4,8 @@ import (
 	"math"
 	"sort"
 
+	"dnsbackscatter/internal/obs"
+	"dnsbackscatter/internal/parallel"
 	"dnsbackscatter/internal/rng"
 )
 
@@ -13,6 +15,15 @@ type ForestConfig struct {
 	MaxDepth    int // per-tree depth cap (0 = unlimited)
 	MinLeaf     int // per-tree leaf minimum (default 1)
 	MaxFeatures int // features per split; 0 = round(sqrt(F))
+
+	// Workers bounds tree-training goroutines; <= 0 uses GOMAXPROCS(0)
+	// and 1 trains sequentially. Every tree draws from its own seeded
+	// rng stream (derived from the caller's stream before fan-out), so
+	// the trained forest is byte-identical for every worker count.
+	Workers int
+	// Obs, when non-nil, records the training fan-out under the
+	// parallel_* metrics with stage="train".
+	Obs *obs.Registry
 }
 
 // Forest trains a Random Forest (Breiman 2001): bagged CART trees with
@@ -38,7 +49,11 @@ func (f Forest) Train(d *Dataset, st *rng.Stream) Classifier {
 	return f.TrainForest(d, st)
 }
 
-// TrainForest trains and returns the concrete model.
+// TrainForest trains and returns the concrete model. Each tree gets its
+// own rng stream, seeded from st in tree order before any tree trains:
+// tree t's bootstrap and split subsampling are a pure function of
+// (st, t), so the forest — trees, votes, and importances — is
+// byte-identical whether trained by one worker or many.
 func (f Forest) TrainForest(d *Dataset, st *rng.Stream) *ForestModel {
 	cfg := f.Config
 	if cfg.Trees <= 0 {
@@ -58,18 +73,26 @@ func (f Forest) TrainForest(d *Dataset, st *rng.Stream) *ForestModel {
 	}}
 
 	m := &ForestModel{
-		trees:      make([]*Tree, cfg.Trees),
 		numClasses: d.NumClasses,
 		importance: make([]float64, d.NumFeatures()),
 	}
+	seeds := make([]uint64, cfg.Trees)
+	for t := range seeds {
+		seeds[t] = st.Uint64()
+	}
 	n := d.Len()
-	boot := make([]int, n)
-	for t := range m.trees {
+	pool := parallel.Pool{Workers: cfg.Workers, Obs: cfg.Obs, Stage: "train"}
+	m.trees = parallel.Map(pool, cfg.Trees, func(t int) *Tree {
+		ts := rng.New(seeds[t])
+		boot := make([]int, n)
 		for i := range boot {
-			boot[i] = st.Intn(n)
+			boot[i] = ts.Intn(n)
 		}
-		tree := cart.TrainTree(d.Subset(boot), st)
-		m.trees[t] = tree
+		return cart.TrainTree(d.Subset(boot), ts)
+	})
+	// Importances merge sequentially in tree order: float summation
+	// order is fixed, so the totals match bit for bit across runs.
+	for _, tree := range m.trees {
 		for i, v := range tree.Importance() {
 			m.importance[i] += v
 		}

@@ -13,6 +13,8 @@ import (
 	"math"
 	"sort"
 
+	"dnsbackscatter/internal/obs"
+	"dnsbackscatter/internal/parallel"
 	"dnsbackscatter/internal/rng"
 )
 
@@ -258,6 +260,15 @@ func Evaluate(clf Classifier, d *Dataset, rows []int) Metrics {
 	return conf.Score()
 }
 
+// PredictBatch classifies every row of xs under the pool, returning
+// labels in row order. Rows are independent, so predictions are
+// identical for every worker count; clf.Predict must be safe for
+// concurrent calls (all of this package's models are: prediction only
+// reads trained state).
+func PredictBatch(clf Classifier, xs [][]float64, pool parallel.Pool) []int {
+	return parallel.Map(pool, len(xs), func(i int) int { return clf.Predict(xs[i]) })
+}
+
 // MeanStd summarizes repeated runs.
 type MeanStd struct {
 	Mean, Std float64
@@ -291,24 +302,57 @@ type ValidationResult struct {
 
 // CrossValidate repeats (split, train, test) runs times — the paper's 50
 // iterations of random 60/40 splits — and reports mean and std of each
-// metric.
+// metric. It is Validator.Run with sequential execution; results are
+// identical at any Validator worker count.
 func CrossValidate(tr Trainer, d *Dataset, trainFrac float64, runs int, st *rng.Stream) ValidationResult {
-	acc := make([]float64, 0, runs)
-	prec := make([]float64, 0, runs)
-	rec := make([]float64, 0, runs)
-	f1 := make([]float64, 0, runs)
-	for r := 0; r < runs; r++ {
-		trainIdx, testIdx := StratifiedSplit(d, trainFrac, st)
-		clf := tr.Train(d.Subset(trainIdx), st)
-		m := Evaluate(clf, d, testIdx)
+	return Validator{Trainer: tr, TrainFrac: trainFrac, Runs: runs, Workers: 1}.Run(d, st)
+}
+
+// Validator runs repeated random-split validation (§IV-C) with the folds
+// fanned across workers. Each fold derives its own rng stream from the
+// caller's stream, seeded in fold order before fan-out, so the result is
+// byte-identical for every worker count.
+type Validator struct {
+	// Trainer is the algorithm under validation.
+	Trainer Trainer
+	// TrainFrac is the training share of each split (the paper uses 0.6).
+	TrainFrac float64
+	// Runs is the number of random splits (the paper uses 50).
+	Runs int
+	// Workers bounds concurrent folds; <= 0 uses GOMAXPROCS(0).
+	Workers int
+	// Obs, when non-nil, records the fold fan-out under the parallel_*
+	// metrics with stage="validate".
+	Obs *obs.Registry
+}
+
+// Run executes the folds and aggregates mean±std of each metric in fold
+// order.
+func (v Validator) Run(d *Dataset, st *rng.Stream) ValidationResult {
+	seeds := make([]uint64, v.Runs)
+	for r := range seeds {
+		seeds[r] = st.Uint64()
+	}
+	pool := parallel.Pool{Workers: v.Workers, Obs: v.Obs, Stage: "validate"}
+	ms := parallel.Map(pool, v.Runs, func(r int) Metrics {
+		rs := rng.New(seeds[r])
+		trainIdx, testIdx := StratifiedSplit(d, v.TrainFrac, rs)
+		clf := v.Trainer.Train(d.Subset(trainIdx), rs)
+		return Evaluate(clf, d, testIdx)
+	})
+	acc := make([]float64, 0, v.Runs)
+	prec := make([]float64, 0, v.Runs)
+	rec := make([]float64, 0, v.Runs)
+	f1 := make([]float64, 0, v.Runs)
+	for _, m := range ms {
 		acc = append(acc, m.Accuracy)
 		prec = append(prec, m.Precision)
 		rec = append(rec, m.Recall)
 		f1 = append(f1, m.F1)
 	}
 	return ValidationResult{
-		Trainer:   tr.Name(),
-		Runs:      runs,
+		Trainer:   v.Trainer.Name(),
+		Runs:      v.Runs,
 		Accuracy:  meanStd(acc),
 		Precision: meanStd(prec),
 		Recall:    meanStd(rec),
@@ -323,13 +367,25 @@ type Majority struct {
 	Members []Classifier
 }
 
-// TrainMajority trains n instances of tr on d.
+// TrainMajority trains n instances of tr on d sequentially. It is
+// TrainMajorityWorkers with one worker; the ensemble is identical.
 func TrainMajority(tr Trainer, d *Dataset, n int, st *rng.Stream) *Majority {
-	m := &Majority{Members: make([]Classifier, n)}
-	for i := range m.Members {
-		m.Members[i] = tr.Train(d, st)
+	return TrainMajorityWorkers(tr, d, n, 1, st)
+}
+
+// TrainMajorityWorkers trains the n ensemble members across workers.
+// Each member derives its own rng stream from st, seeded in member order
+// before fan-out, so the ensemble is byte-identical for every worker
+// count.
+func TrainMajorityWorkers(tr Trainer, d *Dataset, n, workers int, st *rng.Stream) *Majority {
+	seeds := make([]uint64, n)
+	for i := range seeds {
+		seeds[i] = st.Uint64()
 	}
-	return m
+	pool := parallel.Pool{Workers: workers}
+	return &Majority{Members: parallel.Map(pool, n, func(i int) Classifier {
+		return tr.Train(d, rng.New(seeds[i]))
+	})}
 }
 
 // Predict returns the majority vote.

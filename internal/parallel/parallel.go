@@ -1,0 +1,196 @@
+// Package parallel runs batches of independent work items across a
+// bounded worker pool with a deterministic, index-ordered merge.
+//
+// The Figure 2 pipeline is embarrassingly parallel along three axes —
+// per originator (feature extraction), per tree (forest training), and
+// per fold (validation) — but the repository's determinism contract
+// (see ARCHITECTURE.md) requires that the worker count never change any
+// output byte. This package supplies the safe building block: work is
+// identified by index, results land at their index, and callers derive
+// any per-item randomness from seeded rng streams *before* fan-out, so
+// scheduling order cannot leak into results.
+//
+// A Pool with Workers <= 0 uses runtime.GOMAXPROCS(0); Workers == 1 runs
+// the plain sequential loop (no goroutines). Panics inside workers are
+// captured and re-raised on the calling goroutine, and Run supports
+// context cancellation for long batches.
+//
+// When a Pool carries an obs registry and stage name, every batch
+// records parallel_shards_total{stage=...} (the number of work items —
+// a data property, identical for every worker count) and tracks live
+// workers in the parallel_workers{stage=...} gauge, which returns to
+// zero when the batch completes so snapshots stay byte-identical across
+// worker counts.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"dnsbackscatter/internal/obs"
+)
+
+// Workers resolves a requested worker count: n if positive, otherwise
+// runtime.GOMAXPROCS(0).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Pool describes how to run a batch of independent work items. The zero
+// value is valid: GOMAXPROCS workers, no instrumentation.
+type Pool struct {
+	// Workers bounds concurrent goroutines; <= 0 means GOMAXPROCS(0)
+	// and 1 runs inline on the calling goroutine.
+	Workers int
+	// Obs, when non-nil together with Stage, receives the batch metrics
+	// (parallel_shards_total counter, parallel_workers gauge).
+	Obs *obs.Registry
+	// Stage labels the metrics, e.g. "extract" or "train".
+	Stage string
+}
+
+// Each runs fn(i) for every i in [0, n), using at most p.Workers
+// goroutines. It returns when all items completed. A panic in any item
+// is re-raised on the calling goroutine after the remaining workers
+// drain. fn must not depend on execution order.
+func (p Pool) Each(n int, fn func(i int)) {
+	err := p.run(nil, n, func(i int) error {
+		fn(i)
+		return nil
+	})
+	if err != nil {
+		// Unreachable: fn never errors and no context is installed.
+		panic("parallel: unexpected error from infallible batch: " + err.Error())
+	}
+}
+
+// Map runs fn over [0, n) under the pool and returns the results in
+// index order — the deterministic merge: results[i] is fn(i) no matter
+// which worker computed it or when.
+func Map[T any](p Pool, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	p.Each(n, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// Run is Each with error and cancellation support: it stops claiming new
+// items once fn returns an error or ctx is cancelled, waits for in-flight
+// items, and returns the error of the lowest-indexed failed item (or
+// ctx.Err()). Items after a failure may be skipped. A nil ctx never
+// cancels.
+func (p Pool) Run(ctx context.Context, n int, fn func(i int) error) error {
+	return p.run(ctx, n, fn)
+}
+
+// batchErr records the lowest-indexed error of a batch.
+type batchErr struct {
+	mu  sync.Mutex
+	idx int
+	err error
+}
+
+// record keeps err if it is the lowest-indexed failure so far.
+func (b *batchErr) record(idx int, err error) {
+	b.mu.Lock()
+	if b.err == nil || idx < b.idx {
+		b.idx, b.err = idx, err
+	}
+	b.mu.Unlock()
+}
+
+func (p Pool) run(ctx context.Context, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	var gauge *obs.Gauge
+	if p.Stage != "" {
+		p.Obs.Counter("parallel_shards_total", obs.L("stage", p.Stage)).Add(uint64(n))
+		gauge = p.Obs.Gauge("parallel_workers", obs.L("stage", p.Stage))
+	}
+
+	w := Workers(p.Workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		// Sequential path: today's plain loop, no goroutines.
+		gauge.Add(1)
+		defer gauge.Add(-1)
+		for i := 0; i < n; i++ {
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Workers claim chunks of consecutive indices from an atomic cursor;
+	// results are keyed by index, so the claim order never shows in any
+	// output. Chunks amortize the cursor for cheap items while keeping
+	// the tail balanced.
+	chunk := n / (w * 4)
+	if chunk < 1 {
+		chunk = 1
+	}
+	var (
+		cursor atomic.Int64
+		stop   atomic.Bool
+		errs   batchErr
+		wg     sync.WaitGroup
+		pOnce  sync.Once
+		pVal   any
+	)
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			gauge.Add(1)
+			defer gauge.Add(-1)
+			defer func() {
+				if r := recover(); r != nil {
+					pOnce.Do(func() { pVal = r })
+					stop.Store(true)
+				}
+			}()
+			for !stop.Load() {
+				if ctx != nil {
+					if err := ctx.Err(); err != nil {
+						errs.record(n, err)
+						stop.Store(true)
+						return
+					}
+				}
+				hi := int(cursor.Add(int64(chunk)))
+				lo := hi - chunk
+				if lo >= n {
+					return
+				}
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					if err := fn(i); err != nil {
+						errs.record(i, err)
+						stop.Store(true)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if pVal != nil {
+		panic(pVal)
+	}
+	return errs.err
+}

@@ -29,6 +29,10 @@ type Store struct {
 	// world, cache, and pipeline-stage metrics across experiments. Set
 	// it before the first Get.
 	Obs *backscatter.Registry
+	// Workers is threaded into every built spec (DatasetSpec.Workers):
+	// <= 0 uses GOMAXPROCS(0), 1 runs sequentially. Results are
+	// byte-identical either way. Set it before the first Get.
+	Workers int
 
 	mu sync.Mutex
 	ds map[string]*backscatter.Dataset // guarded by mu
@@ -49,7 +53,7 @@ func (s *Store) Get(spec backscatter.DatasetSpec) *backscatter.Dataset {
 	if d, ok := s.ds[spec.Name]; ok {
 		return d
 	}
-	d := backscatter.BuildObserved(spec.Scaled(s.Scale), s.Obs)
+	d := backscatter.BuildObserved(spec.Scaled(s.Scale).WithParallelism(s.Workers), s.Obs)
 	s.ds[spec.Name] = d
 	return d
 }
