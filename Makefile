@@ -13,9 +13,9 @@ GO ?= go
 RACE_PKGS = ./internal/cache ./internal/dnsserver ./internal/obs ./internal/report \
 	./internal/parallel ./internal/features ./internal/ml ./internal/classify
 
-.PHONY: verify fmt vet lint build test race bench docs determinism
+.PHONY: verify fmt vet lint build test race bench docs determinism chaos fuzz cover
 
-verify: fmt vet lint build test race docs
+verify: fmt vet lint build test race fuzz docs
 	@echo "verify: all checks passed"
 
 fmt:
@@ -33,11 +33,30 @@ lint:
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test execution order each run, flushing out
+# inter-test state dependence; failures print the shuffle seed to replay.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
 	$(GO) test -race $(RACE_PKGS)
+
+# Per-package coverage with a floor: writes the merged profile to
+# coverage.out (the CI job publishes it as an artifact) and fails if any
+# tested package drops below the floor. Untested packages (cmd mains,
+# examples) are exempt — the build exercises them.
+cover:
+	$(GO) test -coverprofile=coverage.out ./... > cover-packages.txt \
+		|| { cat cover-packages.txt; rm -f cover-packages.txt; exit 1; }
+	$(GO) run ./cmd/covercheck -floor 80 < cover-packages.txt
+	@rm -f cover-packages.txt
+
+# Short fuzz smoke on the wire codec: ten seconds per target. Crashers
+# land in internal/dnswire/testdata/fuzz/ and from then on run as plain
+# regression tests on every `go test`.
+fuzz:
+	$(GO) test ./internal/dnswire -run '^$$' -fuzz FuzzDecode -fuzztime 10s
+	$(GO) test ./internal/dnswire -run '^$$' -fuzz FuzzRoundTrip -fuzztime 10s
 
 # Docs lint: exported-API doc comments (bslint apidoc) and Markdown
 # relative-link integrity (cmd/mdlint).
@@ -49,6 +68,13 @@ docs:
 # CI job runs this with GOMAXPROCS=2 so parallel paths really interleave.
 determinism:
 	$(GO) test -race -run TestSeedMatrixDeterminism -v .
+
+# Chaos seed matrix: the full pipeline under deterministic fault
+# profiles (none / lossy / servfail-storm) × seeds × worker counts,
+# byte-comparing snapshots and classification reports. The CI job runs
+# this under -race with GOMAXPROCS=2.
+chaos:
+	$(GO) test -race -run 'TestChaos' -v .
 
 # Benchmark trajectory: run the paper-reproduction benchmark suite once
 # per benchmark and record name/ns/op/B/op/allocs into BENCH_PR3.json so

@@ -1,0 +1,98 @@
+// Chaos seed matrix: the PR 4 acceptance bar. With deterministic fault
+// injection active — packet loss up to 20%, latency storms, SERVFAIL
+// bursts — the full pipeline must still complete without error, and for
+// a fixed (profile, seed) cell its observability snapshot and
+// classification report must stay byte-identical at every worker count.
+package backscatter_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	backscatter "dnsbackscatter"
+)
+
+// counterValue pulls one counter out of a SnapshotJSON document by its
+// full metric identity (name plus label block).
+func counterValue(t *testing.T, snapJSON []byte, metric string) int64 {
+	t.Helper()
+	var doc struct {
+		Counters []struct {
+			Metric string `json:"metric"`
+			Value  int64  `json:"value"`
+		} `json:"counters"`
+	}
+	if err := json.Unmarshal(snapJSON, &doc); err != nil {
+		t.Fatalf("snapshot JSON: %v", err)
+	}
+	for _, c := range doc.Counters {
+		if c.Metric == metric {
+			return c.Value
+		}
+	}
+	t.Fatalf("counter %q not in snapshot", metric)
+	return 0
+}
+
+// TestChaosMatrix runs the pipeline under fault profiles {none, lossy,
+// servfail-storm} × seeds {1, 2, 3} × workers {1, 8}. For every
+// (profile, seed) pair the 8-worker run must reproduce the sequential
+// run's bytes, and faulted cells must show their injections and the
+// resolver's retries in the metrics.
+func TestChaosMatrix(t *testing.T) {
+	for _, fspec := range []string{"", "lossy@1", "servfail-storm@1"} {
+		for _, seed := range []uint64{1, 2, 3} {
+			wantSnap, wantReport := pipelineRun(t, seed, 1, fspec)
+			if len(wantReport) == 0 {
+				t.Fatalf("faults=%q seed=%d: empty classification report", fspec, seed)
+			}
+			gotSnap, gotReport := pipelineRun(t, seed, 8, fspec)
+			if !bytes.Equal(gotSnap, wantSnap) {
+				t.Errorf("faults=%q seed=%d: SnapshotJSON differs between workers 1 and 8", fspec, seed)
+			}
+			if !bytes.Equal(gotReport, wantReport) {
+				t.Errorf("faults=%q seed=%d: classification report differs between workers 1 and 8", fspec, seed)
+			}
+
+			switch fspec {
+			case "lossy@1":
+				if v := counterValue(t, wantSnap, `faults_injected_total{kind="loss"}`); v == 0 {
+					t.Errorf("faults=%q seed=%d: no loss injections recorded", fspec, seed)
+				}
+				if v := counterValue(t, wantSnap, "resolver_retries_total"); v == 0 {
+					t.Errorf("faults=%q seed=%d: no resolver retries recorded", fspec, seed)
+				}
+			case "servfail-storm@1":
+				if v := counterValue(t, wantSnap, `faults_injected_total{kind="servfail"}`); v == 0 {
+					t.Errorf("faults=%q seed=%d: no servfail injections recorded", fspec, seed)
+				}
+			}
+		}
+	}
+}
+
+// TestChaosSchedulesDivergeBySeed guards against a degenerate plan that
+// ignores its seed: two lossy runs with different fault seeds must not
+// produce the same injection schedule.
+func TestChaosSchedulesDivergeBySeed(t *testing.T) {
+	snapA, _ := pipelineRun(t, 1, 1, "lossy@1")
+	snapB, _ := pipelineRun(t, 1, 1, "lossy@2")
+	a := counterValue(t, snapA, `faults_injected_total{kind="loss"}`)
+	b := counterValue(t, snapB, `faults_injected_total{kind="loss"}`)
+	if a == b {
+		t.Errorf("lossy@1 and lossy@2 injected the same loss count (%d); schedules look seed-independent", a)
+	}
+}
+
+// TestChaosBadSpecPanics pins BuildObserved's contract for a malformed
+// faults spec: a panic naming the problem, not a silent no-fault run.
+func TestChaosBadSpecPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("BuildObserved accepted an unknown fault profile")
+		}
+	}()
+	spec := seedMatrixSpec(1, 1, "no-such-profile@1")
+	backscatter.Build(spec)
+}

@@ -43,6 +43,7 @@ func main() {
 		seed    = flag.Uint64("seed", 0, "override the spec's seed (0 keeps it)")
 		out     = flag.String("out", ".", "output directory")
 		wire    = flag.Bool("wire", false, "also write log.cap, a framed DNS wire-format capture")
+		fspec   = flag.String("faults", "", `fault-injection profile@seed (e.g. "lossy@7"); empty disables`)
 	)
 	flag.Parse()
 
@@ -54,7 +55,11 @@ func main() {
 	if *seed != 0 {
 		spec.Seed = *seed
 	}
-	spec = spec.Scaled(*scale)
+	if _, err := backscatter.ParseFaults(*fspec); err != nil {
+		fmt.Fprintf(os.Stderr, "bsgen: %v\n", err)
+		os.Exit(2)
+	}
+	spec = spec.Scaled(*scale).WithFaults(*fspec)
 
 	fmt.Fprintf(os.Stderr, "bsgen: simulating %s (%s at %s, scale %.2f)...\n",
 		spec.Name, spec.Authority, spec.Start, *scale)

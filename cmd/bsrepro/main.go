@@ -17,6 +17,8 @@ import (
 	"strings"
 	"time"
 
+	backscatter "dnsbackscatter"
+
 	"dnsbackscatter/internal/obs"
 	"dnsbackscatter/internal/report"
 	"dnsbackscatter/internal/simtime"
@@ -30,6 +32,7 @@ func main() {
 		list    = flag.Bool("list", false, "list experiments and exit")
 		stats   = flag.Bool("stats", false, "print pipeline stage timings (µs) and metric totals after each experiment")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "pipeline worker goroutines (1 = sequential; output is identical either way)")
+		fspec   = flag.String("faults", "", `fault-injection profile@seed (e.g. "lossy@7") applied to every dataset; empty disables`)
 	)
 	flag.Parse()
 
@@ -40,9 +43,15 @@ func main() {
 		return
 	}
 
+	if _, err := backscatter.ParseFaults(*fspec); err != nil {
+		fmt.Fprintf(os.Stderr, "bsrepro: %v\n", err)
+		os.Exit(2)
+	}
+
 	store := report.NewStore(*scale)
 	store.Heavy = *heavy
 	store.Workers = *workers
+	store.Faults = *fspec
 
 	var reg *obs.Registry
 	if *stats {
@@ -75,6 +84,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "[%s done in %.1fs]\n\n", e.Name, time.Since(start).Seconds())
 		if reg != nil {
 			fmt.Fprintf(os.Stderr, "pipeline stages after %s (µs):\n%s\n", e.Name, reg.StageReport())
+			fmt.Fprintf(os.Stderr, "metric totals after %s:\n%s\n", e.Name, reg.Snapshot())
 		}
 	}
 }

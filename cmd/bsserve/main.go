@@ -30,6 +30,8 @@ import (
 	"os/signal"
 	"strings"
 
+	backscatter "dnsbackscatter"
+
 	"dnsbackscatter/internal/dnslog"
 	"dnsbackscatter/internal/dnsserver"
 	"dnsbackscatter/internal/dnssim"
@@ -77,8 +79,15 @@ func main() {
 		logPath  = flag.String("log", "", "append observed backscatter records to this TSV file")
 		name     = flag.String("authority", "final", "authority name in emitted records")
 		httpAddr = flag.String("http", "", "serve /metrics, /debug/vars, and /debug/pprof on this address")
+		fspec    = flag.String("faults", "", `fault-injection profile@seed (e.g. "lossy@7"); empty disables`)
 	)
 	flag.Parse()
+
+	plan, err := backscatter.ParseFaults(*fspec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bsserve:", err)
+		os.Exit(2)
+	}
 
 	// A seeded profile source: the same deterministic reverse-zone
 	// distribution the simulator uses, re-keyed by this server's seed.
@@ -96,6 +105,12 @@ func main() {
 		os.Exit(1)
 	}
 	defer s.Close()
+	// Install faults before metrics so SetMetrics registers the plan's
+	// counters and they appear (at zero) in the first /metrics scrape.
+	s.SetFaults(plan)
+	if plan != nil {
+		fmt.Fprintf(os.Stderr, "bsserve: injecting faults: %s\n", plan)
+	}
 
 	if *httpAddr != "" {
 		reg := obs.NewRegistry()

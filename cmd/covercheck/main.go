@@ -1,0 +1,89 @@
+// Command covercheck enforces per-package test-coverage floors. It reads
+// `go test -cover` output on stdin, prints a sorted per-package summary,
+// and exits nonzero if any tested package falls below the floor.
+//
+// Usage:
+//
+//	go test -coverprofile=coverage.out ./... | covercheck -floor 80
+//
+// Packages without test files (no "ok" line) are listed as untested but
+// do not fail the check: command mains and examples are exercised by the
+// build, not by unit tests.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// pkgCoverage is one package's parsed coverage line.
+type pkgCoverage struct {
+	pkg string
+	pct float64
+}
+
+// parseLine extracts (package, percent) from one `go test -cover` output
+// line of the form "ok <pkg> <time> coverage: <pct>% of statements".
+// Lines for untested packages or without a coverage figure return ok=false.
+func parseLine(line string) (c pkgCoverage, ok bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || f[0] != "ok" {
+		return pkgCoverage{}, false
+	}
+	for i, tok := range f {
+		if tok != "coverage:" || i+1 >= len(f) {
+			continue
+		}
+		pct, err := strconv.ParseFloat(strings.TrimSuffix(f[i+1], "%"), 64)
+		if err != nil {
+			return pkgCoverage{}, false
+		}
+		return pkgCoverage{pkg: f[1], pct: pct}, true
+	}
+	return pkgCoverage{}, false
+}
+
+func main() {
+	floor := flag.Float64("floor", 80, "minimum per-package coverage percent for tested packages")
+	flag.Parse()
+
+	var covered []pkgCoverage
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		if c, ok := parseLine(sc.Text()); ok {
+			covered = append(covered, c)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "covercheck:", err)
+		os.Exit(1)
+	}
+	if len(covered) == 0 {
+		fmt.Fprintln(os.Stderr, "covercheck: no coverage lines on stdin (pipe `go test -cover ./...` in)")
+		os.Exit(1)
+	}
+
+	sort.Slice(covered, func(i, j int) bool { return covered[i].pkg < covered[j].pkg })
+	var failed []pkgCoverage
+	for _, c := range covered {
+		mark := "  "
+		if c.pct < *floor {
+			mark = "!!"
+			failed = append(failed, c)
+		}
+		fmt.Printf("%s %6.1f%%  %s\n", mark, c.pct, c.pkg)
+	}
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "covercheck: %d package(s) below the %.0f%% floor:\n", len(failed), *floor)
+		for _, c := range failed {
+			fmt.Fprintf(os.Stderr, "  %s at %.1f%%\n", c.pkg, c.pct)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("covercheck: %d tested packages at or above %.0f%%\n", len(covered), *floor)
+}

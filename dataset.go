@@ -8,6 +8,7 @@ import (
 	"dnsbackscatter/internal/activity"
 	"dnsbackscatter/internal/classify"
 	"dnsbackscatter/internal/dnslog"
+	"dnsbackscatter/internal/faults"
 	"dnsbackscatter/internal/features"
 	"dnsbackscatter/internal/groundtruth"
 	"dnsbackscatter/internal/ipaddr"
@@ -64,6 +65,13 @@ type DatasetSpec struct {
 	// reproduces the sequential code path exactly. Every worker count
 	// yields byte-identical snapshots, models, and metrics.
 	Workers int
+
+	// Faults degrades the simulated DNS path with a seeded fault plan,
+	// written as "profile" or "profile@seed" (e.g. "lossy@42"; see
+	// FaultProfiles). Empty or "none" keeps the fault-free network. The
+	// schedule is a pure function of the spec, so a faulted dataset is
+	// byte-identical at any worker count.
+	Faults string
 }
 
 // Scaled returns a copy with populations and rates multiplied by f — the
@@ -77,6 +85,13 @@ func (s DatasetSpec) Scaled(f float64) DatasetSpec {
 // goroutines (see Workers). Output is byte-identical for every n.
 func (s DatasetSpec) WithParallelism(n int) DatasetSpec {
 	s.Workers = n
+	return s
+}
+
+// WithFaults returns a copy whose DNS path degrades under the given
+// "profile@seed" fault spec (see Faults).
+func (s DatasetSpec) WithFaults(spec string) DatasetSpec {
+	s.Faults = spec
 	return s
 }
 
@@ -299,6 +314,11 @@ func BuildObserved(spec DatasetSpec, reg *obs.Registry) *Dataset {
 	if spec.Darknet {
 		cfg.DarknetSlash8 = 150
 	}
+	plan, err := faults.Parse(spec.Faults)
+	if err != nil {
+		panic(fmt.Sprintf("backscatter: %v", err))
+	}
+	cfg.Faults = plan
 	if spec.Heartbleed {
 		hb := heartbleedBurst(cfg.ClassPopulation[Scan])
 		end := spec.Start.Add(spec.Duration)

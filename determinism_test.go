@@ -16,9 +16,10 @@ import (
 // seedMatrixSpec is JPDitl shrunk to 5% scale. The default populations
 // are too sparse to train at that scale, so the three classes the JP
 // authority sees most are deepened (pre-scale) to keep the end-to-end
-// path — including training — alive.
-func seedMatrixSpec(seed uint64, workers int) backscatter.DatasetSpec {
-	spec := backscatter.JPDitl().Scaled(0.05).WithParallelism(workers)
+// path — including training — alive. The faults spec ("" for none) is
+// threaded into the build so the chaos matrix can reuse this harness.
+func seedMatrixSpec(seed uint64, workers int, fspec string) backscatter.DatasetSpec {
+	spec := backscatter.JPDitl().Scaled(0.05).WithParallelism(workers).WithFaults(fspec)
 	spec.Seed = seed
 	spec.MinQueriers = 10
 	spec.Population[backscatter.Spam] = 300
@@ -28,14 +29,14 @@ func seedMatrixSpec(seed uint64, workers int) backscatter.DatasetSpec {
 }
 
 // pipelineRun executes the whole Figure 2 pipeline for one (seed,
-// workers) cell and returns the observability snapshot plus a rendered
-// classification report (per-originator labels, validation metrics,
-// feature importances) for byte comparison.
-func pipelineRun(t *testing.T, seed uint64, workers int) (snapJSON, report []byte) {
+// workers, faults) cell and returns the observability snapshot plus a
+// rendered classification report (per-originator labels, validation
+// metrics, feature importances) for byte comparison.
+func pipelineRun(t *testing.T, seed uint64, workers int, fspec string) (snapJSON, report []byte) {
 	t.Helper()
 	reg := backscatter.NewRegistry()
 	reg.SetClock(backscatter.TickClock(1))
-	ds := backscatter.BuildObserved(seedMatrixSpec(seed, workers), reg)
+	ds := backscatter.BuildObserved(seedMatrixSpec(seed, workers, fspec), reg)
 
 	model, err := ds.TrainClassifier(3)
 	if err != nil {
@@ -74,12 +75,12 @@ func pipelineRun(t *testing.T, seed uint64, workers int) (snapJSON, report []byt
 // floats rendered exactly — at every worker count.
 func TestSeedMatrixDeterminism(t *testing.T) {
 	for _, seed := range []uint64{1404, 7, 99} {
-		wantSnap, wantReport := pipelineRun(t, seed, 1)
+		wantSnap, wantReport := pipelineRun(t, seed, 1, "")
 		if len(wantReport) == 0 {
 			t.Fatalf("seed=%d: empty classification report", seed)
 		}
 		for _, w := range []int{2, 8} {
-			gotSnap, gotReport := pipelineRun(t, seed, w)
+			gotSnap, gotReport := pipelineRun(t, seed, w, "")
 			if !bytes.Equal(gotSnap, wantSnap) {
 				t.Errorf("seed=%d workers=%d: SnapshotJSON differs from sequential run", seed, w)
 			}

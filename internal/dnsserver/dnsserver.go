@@ -12,6 +12,7 @@ package dnsserver
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"strconv"
 	"sync"
@@ -21,6 +22,7 @@ import (
 	"dnsbackscatter/internal/dnslog"
 	"dnsbackscatter/internal/dnssim"
 	"dnsbackscatter/internal/dnswire"
+	"dnsbackscatter/internal/faults"
 	"dnsbackscatter/internal/ipaddr"
 	"dnsbackscatter/internal/obs"
 	"dnsbackscatter/internal/simtime"
@@ -37,16 +39,21 @@ type Sink func(dnslog.Record)
 // non-nil, is delivered to the sensor sink.
 type Handler func(q *dnswire.Message, peer *net.UDPAddr) (resp *dnswire.Message, rec *dnslog.Record, answer bool)
 
-// Server is an authoritative reverse-DNS server over UDP.
+// Server is an authoritative reverse-DNS server over UDP, with a TCP
+// listener on the same port for truncation fallback (RFC 1035 §4.2.2
+// two-byte length framing).
 type Server struct {
 	conn      *net.UDPConn
+	tcp       net.Listener // nil when the TCP port was unavailable
 	authority string
 
-	mu      sync.Mutex
-	handler Handler             // guarded by mu
-	sink    Sink                // guarded by mu
-	clock   func() simtime.Time // guarded by mu
-	metrics *serverMetrics      // guarded by mu
+	mu       sync.Mutex
+	handler  Handler               // guarded by mu
+	sink     Sink                  // guarded by mu
+	clock    func() simtime.Time   // guarded by mu
+	metrics  *serverMetrics        // guarded by mu
+	faults   *faults.Plan          // guarded by mu
+	tcpConns map[net.Conn]struct{} // guarded by mu
 
 	queries uint64 // atomic
 	dropped uint64 // atomic: unparseable or non-DNS datagrams
@@ -93,11 +100,30 @@ func ListenHandler(addr, authority string, h Handler) (*Server, error) {
 		handler:   h,
 		authority: authority,
 		clock:     simtime.Wall,
+		tcpConns:  make(map[net.Conn]struct{}),
 		closed:    make(chan struct{}),
+	}
+	// TCP rides the same port for TC fallback. Best effort: a server
+	// whose TCP port is taken still works for every untruncated answer.
+	if ln, lerr := net.Listen("tcp", s.conn.LocalAddr().String()); lerr == nil {
+		s.tcp = ln
+		s.done.Add(1)
+		go s.serveTCP()
 	}
 	s.done.Add(1)
 	go s.serve()
 	return s, nil
+}
+
+// SetFaults installs a deterministic fault plan on the UDP serving path
+// (nil removes it): dead epochs and dropped datagrams answer with
+// silence, SERVFAIL faults replace the response, truncation faults set
+// TC and strip the record sections so clients must re-ask over TCP. The
+// TCP path is never faulted — it is the recovery transport.
+func (s *Server) SetFaults(p *faults.Plan) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.faults = p
 }
 
 // Addr returns the bound address.
@@ -121,15 +147,19 @@ func (s *Server) SetClock(clock func() simtime.Time) {
 }
 
 // serverMetrics holds the server's pre-resolved observability counters.
-// The rcode family is filled lazily by the serve goroutine (the only
-// writer), so only response codes actually sent appear in snapshots.
+// The rcode family is filled lazily under rmu (the UDP and TCP serving
+// goroutines both respond), so only response codes actually sent appear
+// in snapshots.
 type serverMetrics struct {
 	reg       *obs.Registry
 	authority string
 	queries   *obs.Counter
 	dropped   *obs.Counter
 	silent    *obs.Counter
-	responses [16]*obs.Counter // indexed by rcode; lazily filled by serve
+	tcp       *obs.Counter
+
+	rmu       sync.Mutex
+	responses [16]*obs.Counter // guarded by rmu; indexed by rcode, lazily filled
 }
 
 func (m *serverMetrics) queriesInc() {
@@ -150,18 +180,28 @@ func (m *serverMetrics) silentInc() {
 	}
 }
 
-// rcode returns the response counter for one 4-bit rcode. Only the serve
-// goroutine calls this, so the lazy fill needs no lock.
+func (m *serverMetrics) tcpInc() {
+	if m != nil {
+		m.tcp.Inc()
+	}
+}
+
+// rcode returns the response counter for one 4-bit rcode, filling the
+// slot on first use.
 func (m *serverMetrics) rcode(rc uint8) *obs.Counter {
 	if m == nil {
 		return nil
 	}
 	i := rc & 0xf
-	if m.responses[i] == nil {
-		m.responses[i] = m.reg.Counter("dnsserver_responses_total",
+	m.rmu.Lock()
+	c := m.responses[i]
+	if c == nil {
+		c = m.reg.Counter("dnsserver_responses_total",
 			obs.L("authority", m.authority), obs.L("rcode", strconv.Itoa(int(i))))
+		m.responses[i] = c
 	}
-	return m.responses[i]
+	m.rmu.Unlock()
+	return c
 }
 
 // SetMetrics instruments the server: well-formed queries, dropped
@@ -178,11 +218,13 @@ func (s *Server) SetMetrics(reg *obs.Registry) {
 			queries:   reg.Counter("dnsserver_queries_total", la),
 			dropped:   reg.Counter("dnsserver_dropped_total", la),
 			silent:    reg.Counter("dnsserver_silent_total", la),
+			tcp:       reg.Counter("dnsserver_tcp_queries_total", la),
 		}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.metrics = m
+	s.faults.SetMetrics(reg)
 }
 
 // Queries returns how many well-formed DNS queries arrived.
@@ -200,6 +242,16 @@ func (s *Server) Close() error {
 	}
 	close(s.closed)
 	err := s.conn.Close()
+	if s.tcp != nil {
+		if terr := s.tcp.Close(); err == nil {
+			err = terr
+		}
+	}
+	s.mu.Lock()
+	for c := range s.tcpConns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
 	s.done.Wait()
 	return err
 }
@@ -225,7 +277,7 @@ func (s *Server) serve() {
 			return
 		}
 		s.mu.Lock()
-		h, m := s.handler, s.metrics
+		h, m, fp, clock := s.handler, s.metrics, s.faults, s.clock
 		s.mu.Unlock()
 		if err := dnswire.DecodeInto(buf[:n], &msg); err != nil {
 			atomic.AddUint64(&s.dropped, 1)
@@ -243,7 +295,35 @@ func (s *Server) serve() {
 		if h == nil {
 			continue
 		}
+		// Fault pre-checks: a dead epoch or lost datagram means this
+		// query effectively never arrived — no record, no answer.
+		var fnow simtime.Time
+		var fsub, fpeer uint64
+		if fp != nil {
+			fnow = clock()
+			fsub = faults.KeyString(msg.Questions[0].Name)
+			fpeer = faults.KeyString(peer.String())
+			if fp.IsDead(0, fsub, fnow) || fp.Drop(0, fpeer, fsub, fnow, 0) {
+				m.silentInc()
+				continue
+			}
+		}
 		resp, rec, answer := h(&msg, peer)
+		if fp != nil && answer && resp != nil {
+			if fp.ServFails(0, fsub, fnow, 0) {
+				resp = dnswire.NewResponse(&msg, dnswire.RCodeServFail)
+				if rec != nil {
+					rec.RCode = dnswire.RCodeServFail
+				}
+			} else if fp.TruncateAnswer(0, fpeer, fsub, fnow) {
+				// TC over UDP: keep the header and question, drop the
+				// records, and let the client re-ask over TCP.
+				tc := *resp
+				tc.Header.TC = true
+				tc.Answers, tc.Authority, tc.Additional = nil, nil, nil
+				resp = &tc
+			}
+		}
 		if rec != nil {
 			s.mu.Lock()
 			if s.sink != nil {
@@ -262,6 +342,107 @@ func (s *Server) serve() {
 		}
 		m.rcode(resp.Header.RCode).Inc()
 		_, _ = s.conn.WriteToUDP(out, peer)
+	}
+}
+
+// serveTCP accepts truncation-fallback connections. Each connection gets
+// its own goroutine; the handler path is shared with UDP but never
+// faulted — TCP is the recovery transport.
+func (s *Server) serveTCP() {
+	defer s.done.Done()
+	for {
+		conn, err := s.tcp.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+			}
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			return
+		}
+		s.mu.Lock()
+		s.tcpConns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.done.Add(1)
+		go s.serveTCPConn(conn)
+	}
+}
+
+// serveTCPConn handles one framed-query stream until EOF or error.
+func (s *Server) serveTCPConn(conn net.Conn) {
+	defer s.done.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.tcpConns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	peer := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)}
+	if ta, ok := conn.RemoteAddr().(*net.TCPAddr); ok {
+		peer = &net.UDPAddr{IP: ta.IP, Port: ta.Port}
+	}
+	hdr := make([]byte, 2)
+	buf := make([]byte, 0, 512)
+	out := make([]byte, 0, 512)
+	var msg dnswire.Message
+	for {
+		if err := conn.SetReadDeadline(simtime.WallDeadline(5 * time.Second)); err != nil {
+			return
+		}
+		if _, err := io.ReadFull(conn, hdr); err != nil {
+			return
+		}
+		n := int(hdr[0])<<8 | int(hdr[1])
+		if cap(buf) < n {
+			buf = make([]byte, n)
+		}
+		buf = buf[:n]
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			return
+		}
+		s.mu.Lock()
+		h, m := s.handler, s.metrics
+		s.mu.Unlock()
+		if err := dnswire.DecodeInto(buf, &msg); err != nil {
+			atomic.AddUint64(&s.dropped, 1)
+			m.droppedInc()
+			return
+		}
+		if msg.Header.QR || len(msg.Questions) != 1 || h == nil {
+			atomic.AddUint64(&s.dropped, 1)
+			m.droppedInc()
+			return
+		}
+		atomic.AddUint64(&s.queries, 1)
+		m.queriesInc()
+		m.tcpInc()
+		resp, rec, answer := h(&msg, peer)
+		if rec != nil {
+			s.mu.Lock()
+			if s.sink != nil {
+				s.sink(*rec)
+			}
+			s.mu.Unlock()
+		}
+		if !answer {
+			m.silentInc()
+			return
+		}
+		// Encode standalone, then frame: name-compression offsets are
+		// absolute buffer positions, so the body must start at offset 0.
+		body, err := resp.Encode(nil)
+		if err != nil {
+			return
+		}
+		out = append(out[:0], byte(len(body)>>8), byte(len(body)))
+		out = append(out, body...)
+		m.rcode(resp.Header.RCode).Inc()
+		if _, err := conn.Write(out); err != nil {
+			return
+		}
 	}
 }
 

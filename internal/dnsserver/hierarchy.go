@@ -2,6 +2,7 @@ package dnsserver
 
 import (
 	"fmt"
+	"io"
 	"net"
 	"time"
 
@@ -274,6 +275,11 @@ func (r *Recursor) ResolvePTR(addr ipaddr.Addr, now simtime.Time) (string, Trace
 		case msg.Header.RCode == dnswire.RCodeNXDomain:
 			r.cache.PutNegative(rcPTRKey(addr), r.NegTTL, now)
 			return "", tr, nil
+		case msg.Header.RCode == dnswire.RCodeServFail:
+			// A storming authority: remember the failure briefly (the
+			// live ServFailTTL analogue) instead of chasing referrals.
+			r.cache.PutNegative(rcPTRKey(addr), r.NegTTL, now)
+			return "", tr, fmt.Errorf("dnsserver: SERVFAIL from %s", server)
 		default:
 			zone, next, ttl, ok := referralTarget(msg)
 			if !ok {
@@ -308,6 +314,12 @@ func labelCount(name string) int {
 }
 
 // queryPTR sends one PTR query and returns the parsed response message.
+// Retries back off with a capped exponential per-attempt timeout
+// (timeout, 2×, 4×, capped at 4×) — the policy lossy paths need so a
+// burst of drops doesn't hammer the authority at a fixed cadence. A
+// truncated (TC) answer is re-asked over TCP on the same server address;
+// if the TCP leg fails, the truncated UDP header is still returned so
+// callers can use the rcode.
 func (c *Client) queryPTR(serverAddr string, addr ipaddr.Addr) (*dnswire.Message, int, error) {
 	timeout := c.Timeout
 	if timeout <= 0 {
@@ -331,7 +343,15 @@ func (c *Client) queryPTR(serverAddr string, addr ipaddr.Addr) (*dnswire.Message
 	buf := make([]byte, 4096)
 	sent := 0
 	var msg dnswire.Message
+	attemptTimeout := timeout
+	maxTimeout := 4 * timeout
 	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 {
+			attemptTimeout *= 2
+			if attemptTimeout > maxTimeout {
+				attemptTimeout = maxTimeout
+			}
+		}
 		if _, err := conn.Write(query); err != nil {
 			return nil, sent, err
 		}
@@ -339,8 +359,9 @@ func (c *Client) queryPTR(serverAddr string, addr ipaddr.Addr) (*dnswire.Message
 		c.Obs.Counter("dnsclient_queries_total").Inc()
 		if attempt > 0 {
 			c.Obs.Counter("dnsclient_retransmits_total").Inc()
+			c.Obs.Counter("resolver_retries_total").Inc()
 		}
-		deadline := simtime.WallDeadline(timeout)
+		deadline := simtime.WallDeadline(attemptTimeout)
 		for {
 			if err := conn.SetReadDeadline(deadline); err != nil {
 				return nil, sent, err
@@ -359,8 +380,54 @@ func (c *Client) queryPTR(serverAddr string, addr ipaddr.Addr) (*dnswire.Message
 				continue
 			}
 			out := msg // copy header/slices for the caller
+			if out.Header.TC {
+				// Truncated answer: re-ask over TCP for the full
+				// response (RFC 1035 §4.2.2).
+				c.Obs.Counter("dnsclient_tcp_fallbacks_total").Inc()
+				c.Obs.Counter("resolver_tcp_fallbacks_total").Inc()
+				if full, terr := c.queryPTRTCP(serverAddr, query, id, timeout); terr == nil {
+					sent++
+					return full, sent, nil
+				}
+			}
 			return &out, sent, nil
 		}
 	}
+	c.Obs.Counter("resolver_gaveup_total").Inc()
 	return nil, sent, ErrTimeout
+}
+
+// queryPTRTCP re-asks one already-encoded query over TCP with two-byte
+// length framing and returns the parsed response.
+func (c *Client) queryPTRTCP(serverAddr string, query []byte, id uint16, timeout time.Duration) (*dnswire.Message, error) {
+	conn, err := net.DialTimeout("tcp", serverAddr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(simtime.WallDeadline(timeout)); err != nil {
+		return nil, err
+	}
+	frame := make([]byte, 2, 2+len(query))
+	frame[0], frame[1] = byte(len(query)>>8), byte(len(query))
+	frame = append(frame, query...)
+	if _, err := conn.Write(frame); err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, 2)
+	if _, err := io.ReadFull(conn, hdr); err != nil {
+		return nil, err
+	}
+	body := make([]byte, int(hdr[0])<<8|int(hdr[1]))
+	if _, err := io.ReadFull(conn, body); err != nil {
+		return nil, err
+	}
+	var msg dnswire.Message
+	if err := dnswire.DecodeInto(body, &msg); err != nil {
+		return nil, err
+	}
+	if !msg.Header.QR || msg.Header.ID != id {
+		return nil, fmt.Errorf("dnsserver: TCP response ID mismatch")
+	}
+	return &msg, nil
 }

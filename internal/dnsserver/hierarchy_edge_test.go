@@ -1,0 +1,202 @@
+package dnsserver
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"dnsbackscatter/internal/dnslog"
+	"dnsbackscatter/internal/dnssim"
+	"dnsbackscatter/internal/dnswire"
+	"dnsbackscatter/internal/faults"
+	"dnsbackscatter/internal/ipaddr"
+	"dnsbackscatter/internal/simtime"
+)
+
+// referralOf runs one question through a ReferralHandler and returns the
+// response.
+func referralOf(t *testing.T, del Delegation, ok bool) *dnswire.Message {
+	t.Helper()
+	s := &Server{authority: "edge", clock: simtime.Wall}
+	h := ReferralHandler(s, func(ipaddr.Addr) (Delegation, bool) { return del, ok })
+	q := dnswire.NewPTRQuery(1, ipaddr.MustParse("100.50.3.4").ReverseName())
+	resp, _, answer := h(q, &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 5353})
+	if !answer || resp == nil {
+		t.Fatal("referral handler stayed silent")
+	}
+	return resp
+}
+
+// TestReferralTargetMalformed walks referralTarget through the malformed
+// shapes a hostile or buggy authority can emit.
+func TestReferralTargetMalformed(t *testing.T) {
+	base := Delegation{
+		Zone: "50.100.in-addr.arpa",
+		NS:   "ns.final.example",
+		Addr: &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 5300},
+		TTL:  simtime.Hour,
+	}
+
+	// A well-formed referral round-trips.
+	resp := referralOf(t, base, true)
+	zone, addr, ttl, ok := referralTarget(resp)
+	if !ok || zone != base.Zone || addr.Port != 5300 || ttl != simtime.Hour {
+		t.Fatalf("well-formed referral: zone=%q addr=%v ttl=%d ok=%v", zone, addr, ttl, ok)
+	}
+
+	// No NS record at all: not a referral.
+	m := &dnswire.Message{}
+	if _, _, _, ok := referralTarget(m); ok {
+		t.Error("empty message parsed as referral")
+	}
+
+	// NS without any glue: lame.
+	m = &dnswire.Message{Authority: []dnswire.RR{{Name: "z", Type: dnswire.TypeNS, Target: "ns.x"}}}
+	if _, _, _, ok := referralTarget(m); ok {
+		t.Error("glueless referral parsed")
+	}
+
+	// Glue under the wrong name: still lame.
+	m.Additional = []dnswire.RR{{Name: "ns.other", Type: dnswire.TypeA, RData: []byte{127, 0, 0, 1}}}
+	if _, _, _, ok := referralTarget(m); ok {
+		t.Error("mis-named glue parsed")
+	}
+
+	// A record with truncated rdata: lame.
+	m.Additional = []dnswire.RR{{Name: "ns.x", Type: dnswire.TypeA, RData: []byte{127, 0}}}
+	if _, _, _, ok := referralTarget(m); ok {
+		t.Error("short A rdata parsed")
+	}
+
+	// Valid A but a short SRV: the port falls back to 53.
+	m.Additional = []dnswire.RR{
+		{Name: "ns.x", Type: dnswire.TypeA, RData: []byte{127, 0, 0, 1}},
+		{Name: "ns.x", Type: dnswire.TypeSRV, RData: []byte{0, 0}},
+	}
+	if _, addr, _, ok := referralTarget(m); !ok || addr.Port != 53 {
+		t.Errorf("short-SRV referral: addr=%v ok=%v, want port 53", addr, ok)
+	}
+}
+
+// TestRecursorLameDelegation pins the error path for an authority that
+// answers NoError with no referral and no answer.
+func TestRecursorLameDelegation(t *testing.T) {
+	lame, err := ListenHandler("127.0.0.1:0", "lame", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lame.Close() })
+	lame.SetHandler(func(q *dnswire.Message, peer *net.UDPAddr) (*dnswire.Message, *dnslog.Record, bool) {
+		return dnswire.NewResponse(q, dnswire.RCodeNoError), nil, true
+	})
+
+	r := NewRecursor(lame.Addr().String())
+	r.Client.Timeout = 300 * time.Millisecond
+	_, _, rerr := r.ResolvePTR(ipaddr.MustParse("100.50.3.4"), 0)
+	if rerr == nil || !strings.Contains(rerr.Error(), "lame") {
+		t.Fatalf("err = %v, want lame-response error", rerr)
+	}
+}
+
+// TestRecursorDelegationLoop pins the maxChase bound: a server that
+// refers every query to itself must not hang the recursor.
+func TestRecursorDelegationLoop(t *testing.T) {
+	var loop *Server
+	loop, err := ListenHandler("127.0.0.1:0", "loop", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { loop.Close() })
+	loop.SetHandler(ReferralHandler(loop, func(ipaddr.Addr) (Delegation, bool) {
+		return Delegation{Zone: "100.in-addr.arpa", NS: "ns.loop.example",
+			Addr: loop.Addr(), TTL: simtime.Hour}, true
+	}))
+
+	r := NewRecursor(loop.Addr().String())
+	r.Client.Timeout = 300 * time.Millisecond
+	_, tr, rerr := r.ResolvePTR(ipaddr.MustParse("100.50.3.4"), 0)
+	if rerr == nil || !strings.Contains(rerr.Error(), "referral chain") {
+		t.Fatalf("err = %v, want chain-exceeded error", rerr)
+	}
+	if tr.Queries != maxChase {
+		t.Errorf("loop sent %d queries, want %d", tr.Queries, maxChase)
+	}
+}
+
+// TestRecursorDeadDelegation pins the path where a referral points at a
+// server that never answers: the client times out and the recursor
+// negative-caches the failure.
+func TestRecursorDeadDelegation(t *testing.T) {
+	// Reserve a port with no listener behind it.
+	dead, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.LocalAddr().(*net.UDPAddr)
+	if err := dead.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ref, err := ListenHandler("127.0.0.1:0", "ref", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ref.Close() })
+	ref.SetHandler(ReferralHandler(ref, func(ipaddr.Addr) (Delegation, bool) {
+		return Delegation{Zone: "100.in-addr.arpa", NS: "ns.dead.example",
+			Addr: deadAddr, TTL: simtime.Hour}, true
+	}))
+
+	r := NewRecursor(ref.Addr().String())
+	r.Client.Timeout = 80 * time.Millisecond
+	_, _, rerr := r.ResolvePTR(ipaddr.MustParse("100.50.3.4"), 0)
+	if rerr == nil {
+		t.Fatal("resolution through a dead delegation succeeded")
+	}
+	// Negative-cached: the retry sends nothing.
+	_, tr, _ := r.ResolvePTR(ipaddr.MustParse("100.50.3.4"), 60)
+	if tr.Queries != 0 {
+		t.Errorf("dead delegation not negative-cached: %d queries", tr.Queries)
+	}
+}
+
+// TestEmptyZoneAnswersNXDomain pins the final authority's behavior for a
+// zone with no names at all.
+func TestEmptyZoneAnswersNXDomain(t *testing.T) {
+	s, err := Listen("127.0.0.1:0", "empty", func(ipaddr.Addr) dnssim.OriginatorProfile {
+		return dnssim.OriginatorProfile{} // no PTR for anyone
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	c := &Client{Timeout: 300 * time.Millisecond}
+	target, rcode, _, err := c.LookupPTR(s.Addr().String(), ipaddr.MustParse("100.50.3.4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if target != "" || rcode != dnswire.RCodeNXDomain {
+		t.Errorf("empty zone answered %q rcode=%d, want NXDomain", target, rcode)
+	}
+}
+
+// TestRecursorThroughTruncatingNational pins TC handling mid-chain: a
+// national registry whose every UDP answer is truncated still delegates
+// correctly because the client re-asks over TCP.
+func TestRecursorThroughTruncatingNational(t *testing.T) {
+	h := startHierarchy(t)
+	h.national.SetFaults(faults.New(faults.Profile{Name: "tc", Truncate: 1.0}, 1))
+
+	r := newRecursor(h)
+	target, tr, err := r.ResolvePTR(ipaddr.MustParse("100.50.3.4"), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if target != "origin-100.50.3.4.example.net" {
+		t.Errorf("target = %q", target)
+	}
+	if !tr.Root || !tr.National || !tr.Final {
+		t.Errorf("trace = %+v, want full walk through the TC hop", tr)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"dnsbackscatter/internal/cache"
 	"dnsbackscatter/internal/dnslog"
 	"dnsbackscatter/internal/dnswire"
+	"dnsbackscatter/internal/faults"
 	"dnsbackscatter/internal/geo"
 	"dnsbackscatter/internal/ipaddr"
 	"dnsbackscatter/internal/obs"
@@ -44,6 +45,62 @@ type Config struct {
 	ServFailTTL simtime.Duration
 	// ResolverCacheMax bounds each resolver's cache entries.
 	ResolverCacheMax int
+	// Retry is the per-level query retry policy, consulted only when a
+	// fault plan is installed (a fault-free network answers the first
+	// try, as all earlier PRs assumed).
+	Retry RetryPolicy
+}
+
+// RetryPolicy is a capped exponential backoff for authority queries:
+// attempt n (0-based) waits Base<<(n-1) seconds after attempt n-1,
+// never more than Cap. The zero value means the DefaultRetry policy.
+type RetryPolicy struct {
+	// Attempts is the total number of tries, first included.
+	Attempts int
+	// Base is the delay before the first retry.
+	Base simtime.Duration
+	// Cap bounds the exponentially growing delay.
+	Cap simtime.Duration
+}
+
+// DefaultRetry mirrors common stub behavior: three tries, 2 s initial
+// backoff, capped at 8 s.
+func DefaultRetry() RetryPolicy {
+	return RetryPolicy{Attempts: 3, Base: 2 * simtime.Second, Cap: 8 * simtime.Second}
+}
+
+// normalized fills zero fields with the DefaultRetry values.
+func (p RetryPolicy) normalized() RetryPolicy {
+	d := DefaultRetry()
+	if p.Attempts <= 0 {
+		p.Attempts = d.Attempts
+	}
+	if p.Base <= 0 {
+		p.Base = d.Base
+	}
+	if p.Cap <= 0 {
+		p.Cap = d.Cap
+	}
+	return p
+}
+
+// Backoff returns the delay between attempt n-1 and attempt n (1-based
+// retries): Base<<(n-1), capped at Cap.
+func (p RetryPolicy) Backoff(n int) simtime.Duration {
+	if n <= 0 {
+		return 0
+	}
+	d := p.Base
+	for i := 1; i < n; i++ {
+		d *= 2
+		if d >= p.Cap {
+			return p.Cap
+		}
+	}
+	if d > p.Cap {
+		return p.Cap
+	}
+	return d
 }
 
 // DefaultConfig mirrors common operational TTLs: /8 delegations about two
@@ -54,6 +111,7 @@ func DefaultConfig() Config {
 		FinalNSTTL:       6 * simtime.Hour,
 		ServFailTTL:      5 * simtime.Minute,
 		ResolverCacheMax: 4096,
+		Retry:            DefaultRetry(),
 	}
 }
 
@@ -198,16 +256,21 @@ type Hierarchy struct {
 	national map[string]*Sensor // country code -> sensor
 	finals   map[uint16]*Sensor // /16 -> sensor (instrumented final zones)
 
-	m *hierMetrics
+	faults *faults.Plan
+	m      *hierMetrics
 }
 
 // hierMetrics holds the hierarchy's pre-resolved counters. Nil receiver =
 // uninstrumented; every method is then a no-op.
 type hierMetrics struct {
-	resolves *obs.Counter
-	cached   *obs.Counter
-	hidden   *obs.Counter
-	level    [3]*obs.Counter // root, national, final
+	resolves      *obs.Counter
+	cached        *obs.Counter
+	hidden        *obs.Counter
+	retries       *obs.Counter
+	gaveup        *obs.Counter
+	tcpFallbacks  *obs.Counter
+	finalTimeouts *obs.Counter
+	level         [3]*obs.Counter // root, national, final
 }
 
 // hierLevels orders the per-level query counters top-down, matching the
@@ -222,17 +285,34 @@ var hierLevels = [3]string{"root", "national", "final"}
 func (h *Hierarchy) SetMetrics(reg *obs.Registry) {
 	if reg == nil {
 		h.m = nil
+		h.faults.SetMetrics(nil)
 		return
 	}
 	m := &hierMetrics{
-		resolves: reg.Counter("dnssim_resolves_total"),
-		cached:   reg.Counter("dnssim_cached_total"),
-		hidden:   reg.Counter("dnssim_qmin_hidden_total"),
+		resolves:      reg.Counter("dnssim_resolves_total"),
+		cached:        reg.Counter("dnssim_cached_total"),
+		hidden:        reg.Counter("dnssim_qmin_hidden_total"),
+		retries:       reg.Counter("resolver_retries_total"),
+		gaveup:        reg.Counter("resolver_gaveup_total"),
+		tcpFallbacks:  reg.Counter("resolver_tcp_fallbacks_total"),
+		finalTimeouts: reg.Counter("dnssim_final_timeouts_total"),
 	}
 	for i, lv := range hierLevels {
 		m.level[i] = reg.Counter("dnssim_queries_total", obs.L("level", lv))
 	}
 	h.m = m
+	h.faults.SetMetrics(reg)
+}
+
+// SetFaults installs a deterministic fault plan on every authority
+// exchange (nil removes it). Faults activate the Config.Retry backoff
+// policy: dropped or dead exchanges retry up to Retry.Attempts times,
+// each retry counted in resolver_retries_total, exhaustion in
+// resolver_gaveup_total, truncation-forced TCP re-asks in
+// resolver_tcp_fallbacks_total. Install before SetMetrics (or call
+// SetMetrics again after) so the plan's injection counters register.
+func (h *Hierarchy) SetFaults(p *faults.Plan) {
+	h.faults = p
 }
 
 func (m *hierMetrics) resolve(cached bool) {
@@ -255,6 +335,30 @@ func (m *hierMetrics) query(li int, hidden bool) {
 	m.level[li].Inc()
 	if hidden {
 		m.hidden.Inc()
+	}
+}
+
+func (m *hierMetrics) retry() {
+	if m != nil {
+		m.retries.Inc()
+	}
+}
+
+func (m *hierMetrics) giveup() {
+	if m != nil {
+		m.gaveup.Inc()
+	}
+}
+
+func (m *hierMetrics) tcpFallback() {
+	if m != nil {
+		m.tcpFallbacks.Inc()
+	}
+}
+
+func (m *hierMetrics) finalTimeout() {
+	if m != nil {
+		m.finalTimeouts.Inc()
 	}
 }
 
@@ -315,9 +419,74 @@ func bgWarm(r *Resolver, zoneKey uint64, ttl simtime.Duration, now simtime.Time)
 	return float64(draw>>11)/(1<<53) < r.Busyness
 }
 
+// exchange runs the query/retry loop against one authority level. It
+// sends up to Retry.Attempts queries (exactly one when no fault plan is
+// installed — the polite network of earlier PRs is byte-identical),
+// backing off with the capped exponential policy between tries. obsv is
+// called for each answer that actually arrives, with the instant it
+// arrives and its rcode; dead authorities and dropped packets produce no
+// observation, SERVFAIL answers observe with RCodeServFail, and
+// truncated answers are re-asked over TCP (one extra query, one extra
+// observation a second later). It returns whether a clean answer
+// arrived, when it arrived, and how many queries were sent.
+func (h *Hierarchy) exchange(r *Resolver, orig ipaddr.Addr, li int, zone uint64,
+	hidden bool, rcode uint8, unreachable bool,
+	obsv func(simtime.Time, uint8), now simtime.Time) (ok bool, done simtime.Time, sent int) {
+	if h.faults == nil {
+		h.m.query(li, hidden)
+		if unreachable {
+			h.m.giveup()
+			return false, now, 1
+		}
+		obsv(now, rcode)
+		return true, now, 1
+	}
+
+	pol := h.Cfg.Retry.normalized()
+	res, sub := uint64(r.Addr), uint64(orig)
+	t := now
+	for attempt := 0; attempt < pol.Attempts; attempt++ {
+		if attempt > 0 {
+			h.m.retry()
+			t = t.Add(pol.Backoff(attempt))
+		}
+		h.m.query(li, hidden)
+		sent++
+		if unreachable || h.faults.IsDead(li, zone, t) {
+			continue // authority dark: the query times out silently
+		}
+		if h.faults.Drop(li, res, sub, t, attempt) {
+			continue // datagram lost in flight: timeout, then retry
+		}
+		at := t.Add(h.faults.LatencyFor(li, res, sub, t, attempt))
+		if h.faults.ServFails(li, zone, t, attempt) {
+			obsv(at, dnswire.RCodeServFail)
+			t = at
+			continue
+		}
+		obsv(at, rcode)
+		if h.faults.TruncateAnswer(li, res, sub, at) {
+			// TC answer: re-ask the same authority over TCP. The TCP
+			// exchange succeeds and the authority logs a second query.
+			h.m.tcpFallback()
+			h.m.query(li, hidden)
+			sent++
+			at = at.Add(1)
+			obsv(at, rcode)
+		}
+		return true, at, sent
+	}
+	h.m.giveup()
+	return false, t, sent
+}
+
 // Resolve performs one reverse lookup of orig by r at time now, emitting a
 // record at each authority the query reaches. It returns the number of
-// authority queries sent (0 when the answer was fully cached).
+// authority queries sent (0 when the answer was fully cached). When a
+// fault plan is installed, any level that exhausts its retries aborts the
+// lookup: the resolver negative-caches the name for ServFailTTL — the
+// same rate limit the dead-final path always used — and the giveup is
+// counted in resolver_gaveup_total.
 func (h *Hierarchy) Resolve(r *Resolver, orig ipaddr.Addr, now simtime.Time) int {
 	if _, ok := r.cache.Get(ptrKey(orig), now); ok {
 		h.m.resolve(true)
@@ -328,14 +497,18 @@ func (h *Hierarchy) Resolve(r *Resolver, orig ipaddr.Addr, now simtime.Time) int
 	// A retransmitting stub re-sends this lookup's queries ~3 s later,
 	// before any answer has been cached.
 	dup := r.RetransmitProb > 0 && r.st.Bool(r.RetransmitProb)
-	observe := func(s *Sensor, rcode uint8) {
-		s.Observe(now, orig, r.Addr, rcode)
+	observe := func(s *Sensor, t simtime.Time, rcode uint8) {
+		if s == nil {
+			return
+		}
+		s.Observe(t, orig, r.Addr, rcode)
 		if dup {
-			s.Observe(now.Add(3), orig, r.Addr, rcode)
+			s.Observe(t.Add(3), orig, r.Addr, rcode)
 		}
 	}
 
 	queries := 0
+	cur := now
 	// Find the most specific cached (or background-warmed) delegation.
 	_, have16 := r.cache.Get(z16Key(orig), now)
 	_, have8 := r.cache.Get(z8Key(orig), now)
@@ -352,46 +525,64 @@ func (h *Hierarchy) Resolve(r *Resolver, orig ipaddr.Addr, now simtime.Time) int
 		if r.st.Bool(r.PreferM) {
 			root = h.rootM
 		}
-		if root != nil && !r.QNameMin {
-			observe(root, dnswire.RCodeNoError)
+		if r.QNameMin {
+			root = nil
 		}
-		queries++
-		h.m.query(0, r.QNameMin)
+		ok, done, sent := h.exchange(r, orig, 0, z8Key(orig), r.QNameMin,
+			dnswire.RCodeNoError,
+			false, func(t simtime.Time, rc uint8) { observe(root, t, rc) }, cur)
+		queries += sent
+		if !ok {
+			r.cache.PutNegative(ptrKey(orig), h.Cfg.ServFailTTL, cur)
+			return queries
+		}
+		cur = done
 		r.cache.Put(z8Key(orig), country, r.capTTL(h.Cfg.NationalNSTTL), now)
 		have8 = true
 	}
 	if !have16 {
 		// National registry query: learn the /16 delegation. Minimizing
 		// resolvers reveal only the /16 here — not attributable.
-		if s := h.national[country]; s != nil && !r.QNameMin {
-			observe(s, dnswire.RCodeNoError)
+		nat := h.national[country]
+		if r.QNameMin {
+			nat = nil
 		}
-		queries++
-		h.m.query(1, r.QNameMin)
+		ok, done, sent := h.exchange(r, orig, 1, z8Key(orig), r.QNameMin,
+			dnswire.RCodeNoError,
+			false, func(t simtime.Time, rc uint8) { observe(nat, t, rc) }, cur)
+		queries += sent
+		if !ok {
+			r.cache.PutNegative(ptrKey(orig), h.Cfg.ServFailTTL, cur)
+			return queries
+		}
+		cur = done
 		r.cache.Put(z16Key(orig), "final", r.capTTL(h.Cfg.FinalNSTTL), now)
 	}
 
 	// Final authority query for the PTR record itself.
 	p := h.Profile(orig)
-	queries++
-	h.m.query(2, false)
-	if p.FinalUnreachable {
-		// Timeout: nothing to record at the dead final; remember the
-		// failure briefly so retries are rate-limited.
-		r.cache.PutNegative(ptrKey(orig), h.Cfg.ServFailTTL, now)
-		return queries
-	}
 	rcode := dnswire.RCodeNoError
 	if !p.HasName {
 		rcode = dnswire.RCodeNXDomain
 	}
-	if s := h.finals[orig.Slash16()]; s != nil {
-		observe(s, rcode)
+	fin := h.finals[orig.Slash16()]
+	ok, done, sent := h.exchange(r, orig, 2, z16Key(orig), false, rcode,
+		p.FinalUnreachable,
+		func(t simtime.Time, rc uint8) { observe(fin, t, rc) }, cur)
+	queries += sent
+	if !ok {
+		// Timeout at the dead (or fault-exhausted) final: nothing arrives
+		// to record, but the failure itself is now visible as
+		// dnssim_final_timeouts_total; remember it briefly so retries are
+		// rate-limited.
+		h.m.finalTimeout()
+		r.cache.PutNegative(ptrKey(orig), h.Cfg.ServFailTTL, cur)
+		return queries
 	}
 	if p.HasName {
-		r.cache.Put(ptrKey(orig), p.Name, r.capTTL(p.TTL), now)
+		r.cache.Put(ptrKey(orig), p.Name, r.capTTL(p.TTL), done)
 	} else {
-		r.cache.PutNegative(ptrKey(orig), r.capTTL(p.NegTTL), now)
+		r.cache.PutNegative(ptrKey(orig), r.capTTL(p.NegTTL), done)
 	}
 	return queries
 }

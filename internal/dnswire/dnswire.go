@@ -10,6 +10,7 @@
 package dnswire
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"strings"
@@ -56,6 +57,7 @@ var (
 	ErrLabelTooLong  = errors.New("dnswire: label exceeds 63 octets")
 	ErrTooManyRRs    = errors.New("dnswire: section count exceeds message size")
 	ErrTrailingBytes = errors.New("dnswire: trailing bytes after message")
+	ErrDotInLabel    = errors.New("dnswire: label contains '.'")
 )
 
 // Header is the fixed 12-octet DNS header.
@@ -228,6 +230,11 @@ func (e *encoder) name(name string) error {
 	if name == "" {
 		e.buf = append(e.buf, 0)
 		return nil
+	}
+	if strings.HasSuffix(name, ".") {
+		// "a.." would otherwise silently drop its empty label and dodge
+		// the compression table (keyed on the un-trimmed remainder).
+		return fmt.Errorf("dnswire: empty label in %q", name)
 	}
 	if len(name) > 254 {
 		return ErrNameTooLong
@@ -433,6 +440,12 @@ func decodeName(data []byte, off int) (string, int, error) {
 			total += l + 1
 			if total > 255 {
 				return "", 0, ErrNameTooLong
+			}
+			// The dotted-string form cannot represent a '.' inside a
+			// label: "a.b" as one label is indistinguishable from two.
+			// Reject it so decode∘encode stays faithful.
+			if bytes.IndexByte(data[off+1:off+1+l], '.') >= 0 {
+				return "", 0, ErrDotInLabel
 			}
 			if b.Len() > 0 {
 				b.WriteByte('.')

@@ -337,3 +337,31 @@ func BenchmarkDecodeInto(b *testing.B) {
 		}
 	}
 }
+
+// TestEncodeRejectsTrailingEmptyLabel pins a fuzzer find: "a.." used to
+// silently drop its empty label and encode like "a", but with different
+// compression-table keys, so re-encoding a decoded message could change
+// the wire bytes. Empty labels must be rejected wherever they appear.
+func TestEncodeRejectsTrailingEmptyLabel(t *testing.T) {
+	for _, name := range []string{"a..", "a..b", ".."} {
+		if _, err := NewPTRQuery(1, name).Encode(nil); err == nil {
+			t.Errorf("Encode(%q) succeeded, want empty-label error", name)
+		}
+	}
+	// The absolute form with a single trailing dot stays valid.
+	if _, err := NewPTRQuery(1, "a.b.").Encode(nil); err != nil {
+		t.Errorf("Encode(%q): %v", "a.b.", err)
+	}
+}
+
+// TestDecodeRejectsDotInLabel pins a fuzzer find: a wire label containing
+// a literal '.' octet is unrepresentable in the dotted-string form (one
+// label "a.b" reads identically to two labels), so the decoder must
+// reject it rather than hand the encoder an ambiguous name.
+func TestDecodeRejectsDotInLabel(t *testing.T) {
+	wire := []byte("\x00\x01\x00\x00\x00\x01\x00\x00\x00\x00\x00\x00" + "\x03a.b\x00" + "\x00\x0c\x00\x01")
+	var m Message
+	if err := DecodeInto(wire, &m); err != ErrDotInLabel {
+		t.Errorf("DecodeInto = %v, want ErrDotInLabel", err)
+	}
+}

@@ -52,6 +52,43 @@ func FuzzDecode(f *testing.F) {
 	})
 }
 
+// FuzzRoundTrip drives the encoder with arbitrary structured messages:
+// anything Encode accepts must decode, and the decoded form must
+// re-encode to the identical bytes — one encode canonicalizes (trailing
+// dots stripped, counts recomputed, compression pointers fixed), after
+// which encode∘decode is the identity on the wire.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint16(1), uint16(0x8180), "4.3.2.1.in-addr.arpa", "mail.example.jp", "ns.example.jp", uint32(300), []byte{127, 0, 0, 1})
+	f.Add(uint16(0xffff), uint16(0x0100), "1.0.113.0.203.in-addr.arpa.", "", "a.b", uint32(0), []byte{})
+	f.Add(uint16(7), uint16(0xffff), ".", "x", "x", uint32(1<<31), []byte{0, 0, 0, 35})
+
+	f.Fuzz(func(t *testing.T, id, flags uint16, qname, ptrTarget, nsTarget string, ttl uint32, rdata []byte) {
+		m := &Message{}
+		m.Header.ID = id
+		m.Header.setFlags(flags)
+		m.Questions = append(m.Questions, Question{Name: qname, Type: TypePTR, Class: ClassIN})
+		m.Answers = append(m.Answers, RR{Name: qname, Type: TypePTR, Class: ClassIN, TTL: ttl, Target: ptrTarget})
+		m.Authority = append(m.Authority, RR{Name: nsTarget, Type: TypeNS, Class: ClassIN, TTL: ttl, Target: nsTarget})
+		m.Additional = append(m.Additional, RR{Name: ptrTarget, Type: TypeA, Class: ClassIN, TTL: ttl, RData: rdata})
+
+		wire, err := m.Encode(nil)
+		if err != nil {
+			return // rejected input (bad name): fine, as long as it didn't panic
+		}
+		var d Message
+		if err := DecodeInto(wire, &d); err != nil {
+			t.Fatalf("encoded message failed to decode: %v\nwire: %x", err, wire)
+		}
+		again, err := d.Encode(nil)
+		if err != nil {
+			t.Fatalf("decoded message failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(wire, again) {
+			t.Fatalf("re-encode changed the wire form:\n first: %x\nsecond: %x", wire, again)
+		}
+	})
+}
+
 // countsOnlyDiffer allows header count fields to change: Encode recomputes
 // them from section lengths, which is the defined behavior.
 func countsOnlyDiffer(a, b Header) bool {

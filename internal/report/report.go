@@ -33,6 +33,10 @@ type Store struct {
 	// <= 0 uses GOMAXPROCS(0), 1 runs sequentially. Results are
 	// byte-identical either way. Set it before the first Get.
 	Workers int
+	// Faults is a "profile@seed" fault-injection spec threaded into every
+	// built spec (DatasetSpec.Faults); "" disables injection. Set it
+	// before the first Get.
+	Faults string
 
 	mu sync.Mutex
 	ds map[string]*backscatter.Dataset // guarded by mu
@@ -53,7 +57,7 @@ func (s *Store) Get(spec backscatter.DatasetSpec) *backscatter.Dataset {
 	if d, ok := s.ds[spec.Name]; ok {
 		return d
 	}
-	d := backscatter.BuildObserved(spec.Scaled(s.Scale).WithParallelism(s.Workers), s.Obs)
+	d := backscatter.BuildObserved(spec.Scaled(s.Scale).WithParallelism(s.Workers).WithFaults(s.Faults), s.Obs)
 	s.ds[spec.Name] = d
 	return d
 }

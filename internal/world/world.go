@@ -17,6 +17,7 @@ import (
 	"dnsbackscatter/internal/activity"
 	"dnsbackscatter/internal/darknet"
 	"dnsbackscatter/internal/dnssim"
+	"dnsbackscatter/internal/faults"
 	"dnsbackscatter/internal/geo"
 	"dnsbackscatter/internal/ipaddr"
 	"dnsbackscatter/internal/obs"
@@ -71,6 +72,12 @@ type Config struct {
 
 	// Hierarchy overrides dnssim caching parameters when non-zero.
 	Hierarchy dnssim.Config
+
+	// Faults, when non-nil, degrades the DNS path with the plan's seeded
+	// schedule of losses, latency, truncation, SERVFAILs, and dead
+	// authorities. The schedule is a pure function of (profile, seed), so
+	// a faulted world replays byte-identically at any worker count.
+	Faults *faults.Plan
 
 	// DarknetSlash8 places the paper's /17+/18 darknets in that /8 and
 	// enables darknet observation of scan/p2p raw probes. 0 disables.
@@ -247,6 +254,7 @@ func New(cfg Config) *World {
 		w.darkSt = src.Stream("darknet")
 	}
 	w.Hier = dnssim.NewHierarchy(g, cfg.Hierarchy, w.profileFor)
+	w.Hier.SetFaults(cfg.Faults)
 	end := cfg.Start.Add(cfg.Duration)
 	w.BRoot = dnssim.NewSensor("b-root", 1)
 	w.BRoot.End = end
