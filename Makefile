@@ -13,9 +13,9 @@ GO ?= go
 RACE_PKGS = ./internal/cache ./internal/dnsserver ./internal/obs ./internal/report \
 	./internal/parallel ./internal/features ./internal/ml ./internal/classify
 
-.PHONY: verify fmt vet lint build test race bench docs determinism chaos fuzz cover
+.PHONY: verify fmt vet lint build test race bench docs determinism chaos fuzz cover tracecheck trace-artifacts
 
-verify: fmt vet lint build test race fuzz docs
+verify: fmt vet lint build test race fuzz tracecheck docs
 	@echo "verify: all checks passed"
 
 fmt:
@@ -72,13 +72,31 @@ determinism:
 # Chaos seed matrix: the full pipeline under deterministic fault
 # profiles (none / lossy / servfail-storm) × seeds × worker counts,
 # byte-comparing snapshots and classification reports. The CI job runs
-# this under -race with GOMAXPROCS=2.
+# this under -race with GOMAXPROCS=2. TestChaosTraceDeterminism extends
+# the matrix to the PR 5 artifacts: trace JSONL and windowed series.
 chaos:
 	$(GO) test -race -run 'TestChaos' -v .
 
+# Trace determinism: byte-identical trace JSONL and windowed time-series
+# snapshots at workers {1, 2, 8} under fault injection. Part of verify;
+# the chaos job re-runs it under -race.
+tracecheck:
+	$(GO) test -run TestChaosTraceDeterminism -count=1 .
+
+# Reference tracing artifacts: a small faulted reproduction run whose
+# end-to-end traces and windowed time series CI uploads from the chaos
+# job. Render the traces with `go run ./cmd/bstrace -in traces.jsonl`.
+trace-artifacts:
+	$(GO) run ./cmd/bsrepro -scale 0.08 -experiment figure3 -faults lossy@7 \
+		-trace traces.jsonl -trace-sample 8 \
+		-timeseries timeseries.json -window 2h > /dev/null
+
 # Benchmark trajectory: run the paper-reproduction benchmark suite once
-# per benchmark and record name/ns/op/B/op/allocs into BENCH_PR3.json so
-# later PRs can diff performance. BS_SCALE tunes dataset size as usual;
-# the BenchmarkParallel* entries compare worker counts 1 and 8 directly.
+# per benchmark and record name/ns/op/B/op/allocs into BENCH_PR5.json so
+# later PRs can diff performance against the checked-in BENCH_PR3/PR4
+# baselines. BS_SCALE tunes dataset size as usual; the BenchmarkParallel*
+# entries compare worker counts 1 and 8, and BenchmarkTraceOverhead
+# records the off/sampled/full tracing cost on the resolver hot path
+# (the disabled path must stay within noise of the PR 4 baseline).
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . | $(GO) run ./cmd/bsbench -o BENCH_PR3.json
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . | $(GO) run ./cmd/bsbench -o BENCH_PR5.json

@@ -72,6 +72,69 @@ func TestChaosMatrix(t *testing.T) {
 	}
 }
 
+// tracedRun builds the seed-matrix dataset with tracing and a windowed
+// registry attached and returns the two PR 5 artifacts: the sorted trace
+// JSONL and the windowed time-series JSON.
+func tracedRun(t *testing.T, seed uint64, workers int, fspec string) (jsonl, series []byte) {
+	t.Helper()
+	reg := backscatter.NewRegistry()
+	reg.SetClock(backscatter.TickClock(1))
+	reg.SetWindow(backscatter.NewWindow(6 * 3600))
+	spec := seedMatrixSpec(seed, workers, fspec).WithTracing(4)
+	ds := backscatter.BuildObserved(spec, reg)
+	tr := ds.Tracer()
+	if tr == nil {
+		t.Fatalf("seed=%d workers=%d: WithTracing(4) built no tracer", seed, workers)
+	}
+	if tr.Sample() != 4 {
+		t.Fatalf("seed=%d: tracer sample = %d, want 4", seed, tr.Sample())
+	}
+	return tr.JSONL(), reg.Window().SnapshotJSON()
+}
+
+// TestChaosTraceDeterminism is the PR 5 acceptance bar: under fault
+// injection, the trace JSONL and the windowed time-series snapshot must
+// be byte-identical at workers {1, 2, 8} and across repeated same-seed
+// runs, and the traces must carry the injected faults and the pipeline's
+// provenance verdicts.
+func TestChaosTraceDeterminism(t *testing.T) {
+	for _, seed := range []uint64{1, 3} {
+		wantJSONL, wantTS := tracedRun(t, seed, 1, "lossy@1")
+		if len(wantJSONL) == 0 {
+			t.Fatalf("seed=%d: empty trace JSONL", seed)
+		}
+		for _, marker := range []string{
+			`"kind":"lookup"`, `"kind":"fault"`, `"kind":"sensor"`,
+			`"kind":"done"`, `"kind":"pipeline"`, `"stage":"dedup"`,
+		} {
+			if !bytes.Contains(wantJSONL, []byte(marker)) {
+				t.Errorf("seed=%d: trace JSONL missing %s", seed, marker)
+			}
+		}
+		if !bytes.Contains(wantTS, []byte("faults_injected_total")) ||
+			!bytes.Contains(wantTS, []byte("world_events_total")) {
+			t.Errorf("seed=%d: windowed series missing expected metrics:\n%s", seed, wantTS)
+		}
+
+		againJSONL, againTS := tracedRun(t, seed, 1, "lossy@1")
+		if !bytes.Equal(againJSONL, wantJSONL) {
+			t.Errorf("seed=%d: trace JSONL differs between repeated sequential runs", seed)
+		}
+		if !bytes.Equal(againTS, wantTS) {
+			t.Errorf("seed=%d: windowed series differs between repeated sequential runs", seed)
+		}
+		for _, w := range []int{2, 8} {
+			gotJSONL, gotTS := tracedRun(t, seed, w, "lossy@1")
+			if !bytes.Equal(gotJSONL, wantJSONL) {
+				t.Errorf("seed=%d workers=%d: trace JSONL differs from sequential run", seed, w)
+			}
+			if !bytes.Equal(gotTS, wantTS) {
+				t.Errorf("seed=%d workers=%d: windowed series differs from sequential run", seed, w)
+			}
+		}
+	}
+}
+
 // TestChaosSchedulesDivergeBySeed guards against a degenerate plan that
 // ignores its seed: two lossy runs with different fault seeds must not
 // produce the same injection schedule.

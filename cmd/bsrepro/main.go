@@ -7,6 +7,14 @@
 //	bsrepro -experiment table3,figure4 # a subset
 //	bsrepro -list                      # available experiments
 //	bsrepro -stats -experiment table1  # plus per-stage pipeline timings
+//
+// Tracing and time series:
+//
+//	bsrepro -experiment table1 -trace traces.jsonl       # end-to-end lookup traces
+//	bsrepro -experiment table1 -timeseries ts.json       # windowed metric buckets
+//
+// Trace JSONL and the windowed time-series JSON are byte-identical at any
+// -workers count; render traces with cmd/bstrace.
 package main
 
 import (
@@ -33,6 +41,10 @@ func main() {
 		stats   = flag.Bool("stats", false, "print pipeline stage timings (µs) and metric totals after each experiment")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "pipeline worker goroutines (1 = sequential; output is identical either way)")
 		fspec   = flag.String("faults", "", `fault-injection profile@seed (e.g. "lossy@7") applied to every dataset; empty disables`)
+		trPath  = flag.String("trace", "", "write end-to-end lookup traces (sorted JSONL) to this file")
+		trSamp  = flag.Int("trace-sample", 1, "trace 1 in N lookups (head-based, deterministic); requires -trace")
+		tsPath  = flag.String("timeseries", "", "write windowed time-series metric buckets (JSON) to this file")
+		window  = flag.Duration("window", time.Hour, "simulated-time bucket width for -timeseries")
 	)
 	flag.Parse()
 
@@ -53,14 +65,27 @@ func main() {
 	store.Workers = *workers
 	store.Faults = *fspec
 
+	if *trPath != "" {
+		if *trSamp < 1 {
+			*trSamp = 1
+		}
+		store.Trace = *trSamp
+	}
+
 	var reg *obs.Registry
-	if *stats {
+	if *stats || *tsPath != "" {
 		reg = obs.NewRegistry()
+		store.Obs = reg
+	}
+	if *stats {
 		// A main is free to time stages with the wall clock; microseconds
 		// resolve the sub-second pipeline stages that simtime.Wall's whole
 		// seconds would round to zero.
 		reg.SetClock(func() simtime.Time { return simtime.Time(time.Now().UnixMicro()) })
-		store.Obs = reg
+	}
+	if *tsPath != "" {
+		width := simtime.Duration(*window / time.Second)
+		reg.SetWindow(obs.NewWindow(width))
 	}
 
 	var todo []report.Experiment
@@ -82,9 +107,41 @@ func main() {
 		out := e.Run(store)
 		fmt.Println(out)
 		fmt.Fprintf(os.Stderr, "[%s done in %.1fs]\n\n", e.Name, time.Since(start).Seconds())
-		if reg != nil {
+		if *stats {
 			fmt.Fprintf(os.Stderr, "pipeline stages after %s (µs):\n%s\n", e.Name, reg.StageReport())
 			fmt.Fprintf(os.Stderr, "metric totals after %s:\n%s\n", e.Name, reg.Snapshot())
 		}
+	}
+
+	if *trPath != "" {
+		f, err := os.Create(*trPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bsrepro:", err)
+			os.Exit(1)
+		}
+		traces := 0
+		for _, d := range store.Datasets() {
+			t := d.Tracer()
+			if t == nil {
+				continue
+			}
+			traces += t.Len()
+			if _, err := f.Write(t.JSONL()); err != nil {
+				fmt.Fprintln(os.Stderr, "bsrepro:", err)
+				os.Exit(1)
+			}
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "bsrepro:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bsrepro: wrote %d traces (1 in %d lookups) to %s\n", traces, *trSamp, *trPath)
+	}
+	if *tsPath != "" {
+		if err := os.WriteFile(*tsPath, reg.Window().SnapshotJSON(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "bsrepro:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bsrepro: wrote windowed time series (%s buckets) to %s\n", *window, *tsPath)
 	}
 }

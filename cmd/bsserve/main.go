@@ -9,13 +9,19 @@
 //
 // then point bsdig (or dig -x) at it.
 //
-// With -http, bsserve also serves its live metrics:
+// With -http, bsserve also serves its live metrics, traces, and
+// windowed time series:
 //
 //	bsserve -addr 127.0.0.1:5353 -http 127.0.0.1:8080
 //	curl http://127.0.0.1:8080/metrics               # sorted text
 //	curl http://127.0.0.1:8080/metrics?format=json   # same, as JSON
+//	curl http://127.0.0.1:8080/traces                # recent span trees
+//	curl 'http://127.0.0.1:8080/traces?rcode=nxdomain&format=json'
+//	curl http://127.0.0.1:8080/timeseries            # bucketed sparklines
 //	curl http://127.0.0.1:8080/debug/vars            # expvar
 //
+// /traces filters on originator=, querier=, rcode=, mindur= (seconds),
+// and limit=. Tracing keeps the most recent -trace-keep traces in a ring.
 // net/http/pprof profiling endpoints hang off /debug/pprof/.
 package main
 
@@ -28,7 +34,9 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
+	"time"
 
 	backscatter "dnsbackscatter"
 
@@ -38,7 +46,68 @@ import (
 	"dnsbackscatter/internal/ipaddr"
 	"dnsbackscatter/internal/obs"
 	"dnsbackscatter/internal/simtime"
+	"dnsbackscatter/internal/trace"
 )
+
+// serveTraces exposes the tracer's ring on /traces: span trees by
+// default, JSON with ?format=json, filtered by originator=, querier=,
+// rcode=, mindur= (seconds), and limit= query parameters.
+func serveTraces(tr *trace.Tracer) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		f := trace.Filter{
+			Originator: q.Get("originator"),
+			Querier:    q.Get("querier"),
+			RCode:      q.Get("rcode"),
+			Limit:      50,
+		}
+		if v := q.Get("mindur"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				http.Error(w, "bad mindur: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			f.MinDur = simtime.Duration(n)
+		}
+		if v := q.Get("limit"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				http.Error(w, "bad limit: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			f.Limit = n
+		}
+		ts := tr.Traces(f)
+		if q.Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(ts)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "%d traces held (%d evicted), showing %d\n\n", tr.Len(), tr.Dropped(), len(ts))
+		for _, t := range ts {
+			fmt.Fprintln(w, trace.RenderTree(t))
+		}
+	}
+}
+
+// serveTimeseries exposes the window's buckets on /timeseries: sorted
+// text plus sparklines by default, the JSON document with ?format=json.
+func serveTimeseries(win *obs.Window) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write(win.SnapshotJSON())
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write(win.Snapshot())
+		_, _ = w.Write([]byte("\n"))
+		_, _ = w.Write(win.Sparklines())
+	}
+}
 
 // serveMetrics exposes the registry on the default mux (which pprof and
 // expvar already registered themselves on) and serves it.
@@ -78,8 +147,11 @@ func main() {
 		seed     = flag.Uint64("seed", 1404, "world seed for the zone contents")
 		logPath  = flag.String("log", "", "append observed backscatter records to this TSV file")
 		name     = flag.String("authority", "final", "authority name in emitted records")
-		httpAddr = flag.String("http", "", "serve /metrics, /debug/vars, and /debug/pprof on this address")
+		httpAddr = flag.String("http", "", "serve /metrics, /traces, /timeseries, /debug/vars, and /debug/pprof on this address")
 		fspec    = flag.String("faults", "", `fault-injection profile@seed (e.g. "lossy@7"); empty disables`)
+		trSamp   = flag.Uint64("trace-sample", 1, "trace 1 in N queries (0 disables tracing); served on /traces")
+		trKeep   = flag.Int("trace-keep", 512, "bound the in-memory trace ring to the most recent N traces")
+		window   = flag.Duration("window", time.Minute, "bucket width for the /timeseries record series")
 	)
 	flag.Parse()
 
@@ -112,11 +184,35 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bsserve: injecting faults: %s\n", plan)
 	}
 
+	// Windowed record counters, fed from the sink below with each
+	// record's own timestamp (an operational main may window on wall
+	// time; the library's determinism rules bind simulations, not
+	// servers).
+	var recTotal, recNX *obs.Counter
+	var reg *obs.Registry
 	if *httpAddr != "" {
-		reg := obs.NewRegistry()
+		reg = obs.NewRegistry()
 		reg.SetClock(simtime.Wall) // operational main: wall-backed spans
 		s.SetMetrics(reg)
+		win := obs.NewWindow(simtime.Duration(*window / time.Second))
+		reg.SetWindow(win)
+		recTotal = reg.Counter("served_records_total")
+		recNX = reg.Counter("served_records_nxdomain_total")
+		http.HandleFunc("/timeseries", serveTimeseries(win))
+		if *trSamp > 0 {
+			tr := trace.New(*seed, *trSamp)
+			tr.SetMax(*trKeep)
+			s.SetTracer(tr)
+			http.HandleFunc("/traces", serveTraces(tr))
+		}
 		go serveMetrics(*httpAddr, reg)
+	}
+
+	observe := func(r dnslog.Record) {
+		recTotal.IncAt(simtime.Time(r.Time))
+		if r.RCode == 3 {
+			recNX.IncAt(simtime.Time(r.Time))
+		}
 	}
 
 	var lw *dnslog.Writer
@@ -130,12 +226,14 @@ func main() {
 		lw = dnslog.NewWriter(f)
 		defer lw.Flush()
 		s.SetSink(func(r dnslog.Record) {
+			observe(r)
 			if err := lw.Write(r); err != nil {
 				fmt.Fprintln(os.Stderr, "bsserve: log:", err)
 			}
 		})
 	} else {
 		s.SetSink(func(r dnslog.Record) {
+			observe(r)
 			fmt.Printf("%s\tPTR %s\tfrom %s\trcode %d\n",
 				simtime.Time(r.Time).String(), r.Originator, r.Querier, r.RCode)
 		})

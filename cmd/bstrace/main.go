@@ -1,0 +1,88 @@
+// Command bstrace renders end-to-end lookup traces written by
+// bsrepro -trace (or fetched from bsserve's /traces endpoint as JSONL).
+//
+// Without -id it prints the aggregate view — the top-N slowest lookup
+// chains, where lookups gave up, and per-level injected-latency
+// histograms. With -id (a 16-digit hex trace ID) it renders that trace's
+// span tree: activity, per-level query attempts, injected faults, TCP
+// retries, the sensor tap, and the pipeline's verdicts.
+//
+// Usage:
+//
+//	bsrepro -experiment table1 -trace traces.jsonl
+//	bstrace -in traces.jsonl                       # aggregates
+//	bstrace -in traces.jsonl -trees -rcode nxdomain -limit 5
+//	bstrace -in traces.jsonl -id 63a25dd9d44cdb9b  # one span tree
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dnsbackscatter/internal/simtime"
+	"dnsbackscatter/internal/trace"
+)
+
+func main() {
+	var (
+		in     = flag.String("in", "", "trace JSONL file (default stdin)")
+		id     = flag.String("id", "", "render the span tree of this trace ID (16-digit hex)")
+		trees  = flag.Bool("trees", false, "render span trees for every matching trace instead of aggregates")
+		top    = flag.Int("top", 10, "slowest chains to list in the aggregate view")
+		orig   = flag.String("originator", "", "keep traces for this originator address")
+		qr     = flag.String("querier", "", "keep traces from this querier address")
+		rcode  = flag.String("rcode", "", "keep traces seeing this rcode (noerror, nxdomain, servfail)")
+		mindur = flag.Int("mindur", 0, "keep traces lasting at least this many simulated seconds")
+		limit  = flag.Int("limit", 0, "keep only the most recent N matches (0 = all)")
+	)
+	flag.Parse()
+
+	r := os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bstrace:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r = f
+	}
+	ts, err := trace.ParseJSONL(r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bstrace:", err)
+		os.Exit(1)
+	}
+
+	if *id != "" {
+		want, err := trace.ParseID(*id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bstrace:", err)
+			os.Exit(1)
+		}
+		for _, tr := range ts {
+			if tr.ID == want {
+				fmt.Print(trace.RenderTree(tr))
+				return
+			}
+		}
+		fmt.Fprintf(os.Stderr, "bstrace: trace %s not found in %d traces\n", want, len(ts))
+		os.Exit(1)
+	}
+
+	f := trace.Filter{
+		Originator: *orig,
+		Querier:    *qr,
+		RCode:      *rcode,
+		MinDur:     simtime.Duration(*mindur),
+		Limit:      *limit,
+	}
+	ts = f.Apply(ts)
+	if *trees {
+		for _, tr := range ts {
+			fmt.Println(trace.RenderTree(tr))
+		}
+		return
+	}
+	fmt.Print(trace.Summarize(ts, *top))
+}

@@ -15,6 +15,8 @@ import (
 	"strings"
 
 	backscatter "dnsbackscatter"
+
+	"dnsbackscatter/internal/obs"
 )
 
 func main() {
@@ -38,10 +40,28 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Fprintf(os.Stderr, "bstrend: simulating %s at scale %.2f...\n", spec.Name, *scale)
-	d := backscatter.Build(spec.Scaled(*scale))
+	// Bucket world metrics by the dataset's own feature interval, so the
+	// activity strip below comes straight from the windowed time-series
+	// JSON document rather than a recount of the campaign list.
+	reg := backscatter.NewRegistry()
+	reg.SetWindow(backscatter.NewWindow(spec.Interval))
+	d := backscatter.BuildObserved(spec.Scaled(*scale), reg)
 
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
+
+	// Consume the same JSON document bsrepro -timeseries writes; the
+	// parse round-trip keeps this renderer honest about the format.
+	ts, err := obs.ParseTimeseries(reg.Window().SnapshotJSON())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bstrend: timeseries: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(w, "world activity per interval (windowed time series, %dh buckets):\n", ts.Width/3600)
+	for _, s := range ts.Series {
+		fmt.Fprintf(w, "  %-42s %s\n", s.Metric, obs.SparkSeries(s, ts.Width))
+	}
+	fmt.Fprintf(w, "\n")
 
 	weekly := d.ClassifyIntervals()
 	fmt.Fprintf(w, "originators per interval (%d intervals):\n", len(weekly))

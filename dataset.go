@@ -15,6 +15,7 @@ import (
 	"dnsbackscatter/internal/obs"
 	"dnsbackscatter/internal/rng"
 	"dnsbackscatter/internal/simtime"
+	"dnsbackscatter/internal/trace"
 	"dnsbackscatter/internal/world"
 )
 
@@ -72,6 +73,14 @@ type DatasetSpec struct {
 	// schedule is a pure function of the spec, so a faulted dataset is
 	// byte-identical at any worker count.
 	Faults string
+
+	// Trace enables end-to-end query tracing with head-based sampling:
+	// 0 disables tracing, 1 traces every lookup, and N > 1 keeps the
+	// deterministic 1/N of lookups whose trace ID satisfies
+	// id % N == 0. Trace IDs are pure hashes of (seed, querier, qname,
+	// time), so the sampled subset — and the rendered JSONL — is
+	// byte-identical at any worker count.
+	Trace int
 }
 
 // Scaled returns a copy with populations and rates multiplied by f — the
@@ -92,6 +101,14 @@ func (s DatasetSpec) WithParallelism(n int) DatasetSpec {
 // "profile@seed" fault spec (see Faults).
 func (s DatasetSpec) WithFaults(spec string) DatasetSpec {
 	s.Faults = spec
+	return s
+}
+
+// WithTracing returns a copy that records end-to-end lookup traces,
+// keeping the deterministic 1/n sample (n = 1 traces everything; see
+// Trace).
+func (s DatasetSpec) WithTracing(n int) DatasetSpec {
+	s.Trace = n
 	return s
 }
 
@@ -254,8 +271,9 @@ type Dataset struct {
 	// Labels is the expert curation over the whole span.
 	Labels *groundtruth.LabeledSet
 
-	whole *Snapshot
-	obs   *obs.Registry // non-nil when built with BuildObserved
+	whole  *Snapshot
+	obs    *obs.Registry // non-nil when built with BuildObserved
+	tracer *trace.Tracer // non-nil when built with tracing enabled
 
 	truthOnce sync.Once
 	truth     map[Addr]Class
@@ -282,8 +300,19 @@ func Build(spec DatasetSpec) *Dataset { return BuildObserved(spec, nil) }
 // (dedup/filter/extract, and classify via TrainClassifier) all record
 // into reg, and later pipeline runs on this dataset keep recording. A nil
 // reg is exactly Build. With a deterministic clock (TickClock), the full
-// snapshot is a pure function of the spec.
+// snapshot is a pure function of the spec. When spec.Trace > 0 a tracer
+// is created from spec.Seed automatically (see BuildTraced).
 func BuildObserved(spec DatasetSpec, reg *obs.Registry) *Dataset {
+	return BuildTraced(spec, reg, nil)
+}
+
+// BuildTraced is BuildObserved with an explicit tracer: every simulated
+// lookup threads through tr (activity annotation, cache hits, per-level
+// hops, faults, sensor taps) and the pipeline stages annotate record
+// provenance. A nil tr creates one from spec.Seed when spec.Trace > 0;
+// pass a pre-configured tracer to control ring capacity (SetMax) before
+// the build commits traces.
+func BuildTraced(spec DatasetSpec, reg *obs.Registry, tr *trace.Tracer) *Dataset {
 	if spec.Scale <= 0 {
 		spec.Scale = 1
 	}
@@ -329,9 +358,13 @@ func BuildObserved(spec DatasetSpec, reg *obs.Registry) *Dataset {
 
 	w := world.New(cfg)
 	w.SetMetrics(reg)
+	if tr == nil && spec.Trace > 0 {
+		tr = trace.New(spec.Seed, uint64(spec.Trace))
+	}
+	w.SetTracer(tr)
 	w.Run()
 
-	d := &Dataset{Spec: spec, World: w, obs: reg}
+	d := &Dataset{Spec: spec, World: w, obs: reg, tracer: tr}
 	switch spec.Authority {
 	case "jp":
 		d.Records = w.National["jp"].Records
@@ -345,6 +378,7 @@ func BuildObserved(spec DatasetSpec, reg *obs.Registry) *Dataset {
 
 	d.Extractor = features.NewExtractor(w.Geo, w.QuerierName)
 	d.Extractor.Obs = reg
+	d.Extractor.Tracer = tr
 	d.Extractor.Workers = spec.Workers
 	if spec.MinQueriers > 0 {
 		d.Extractor.MinQueriers = spec.MinQueriers

@@ -26,6 +26,7 @@ import (
 	"dnsbackscatter/internal/ipaddr"
 	"dnsbackscatter/internal/obs"
 	"dnsbackscatter/internal/simtime"
+	"dnsbackscatter/internal/trace"
 )
 
 // Sink receives one record per observed reverse query. Implementations
@@ -53,6 +54,7 @@ type Server struct {
 	clock    func() simtime.Time   // guarded by mu
 	metrics  *serverMetrics        // guarded by mu
 	faults   *faults.Plan          // guarded by mu
+	tracer   *trace.Tracer         // guarded by mu
 	tcpConns map[net.Conn]struct{} // guarded by mu
 
 	queries uint64 // atomic
@@ -124,6 +126,17 @@ func (s *Server) SetFaults(p *faults.Plan) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.faults = p
+}
+
+// SetTracer installs (or, with nil, removes) the end-to-end tracer on
+// the serving path: every well-formed query begins a trace (subject to
+// the tracer's head sampling) carrying the peer querier, the queried
+// originator, any server-side injected faults, the sensor record, and
+// the serve outcome. Timestamps come from the server clock.
+func (s *Server) SetTracer(t *trace.Tracer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tracer = t
 }
 
 // Addr returns the bound address.
@@ -277,7 +290,7 @@ func (s *Server) serve() {
 			return
 		}
 		s.mu.Lock()
-		h, m, fp, clock := s.handler, s.metrics, s.faults, s.clock
+		h, m, fp, clock, tr := s.handler, s.metrics, s.faults, s.clock, s.tracer
 		s.mu.Unlock()
 		if err := dnswire.DecodeInto(buf[:n], &msg); err != nil {
 			atomic.AddUint64(&s.dropped, 1)
@@ -295,36 +308,55 @@ func (s *Server) serve() {
 		if h == nil {
 			continue
 		}
+		// One clock read covers faults and tracing for this query (the
+		// sensor record keeps its own read, as before).
+		var qnow simtime.Time
+		if fp != nil || tr != nil {
+			qnow = clock()
+		}
+		var tc *trace.Ctx
+		if tr != nil {
+			tc = tr.Begin(peerQuerier(peer), queryOrig(&msg), qnow)
+		}
 		// Fault pre-checks: a dead epoch or lost datagram means this
 		// query effectively never arrived — no record, no answer.
-		var fnow simtime.Time
 		var fsub, fpeer uint64
 		if fp != nil {
-			fnow = clock()
 			fsub = faults.KeyString(msg.Questions[0].Name)
 			fpeer = faults.KeyString(peer.String())
-			if fp.IsDead(0, fsub, fnow) || fp.Drop(0, fpeer, fsub, fnow, 0) {
+			if fp.IsDead(0, fsub, qnow) {
 				m.silentInc()
+				tc.Fault("server", 1, "dead", qnow)
+				tc.Finish(qnow, 1)
+				continue
+			}
+			if fp.Drop(0, fpeer, fsub, qnow, 0) {
+				m.silentInc()
+				tc.Fault("server", 1, "loss", qnow)
+				tc.Finish(qnow, 1)
 				continue
 			}
 		}
 		resp, rec, answer := h(&msg, peer)
 		if fp != nil && answer && resp != nil {
-			if fp.ServFails(0, fsub, fnow, 0) {
+			if fp.ServFails(0, fsub, qnow, 0) {
+				tc.Fault("server", 1, "servfail", qnow)
 				resp = dnswire.NewResponse(&msg, dnswire.RCodeServFail)
 				if rec != nil {
 					rec.RCode = dnswire.RCodeServFail
 				}
-			} else if fp.TruncateAnswer(0, fpeer, fsub, fnow) {
+			} else if fp.TruncateAnswer(0, fpeer, fsub, qnow) {
 				// TC over UDP: keep the header and question, drop the
 				// records, and let the client re-ask over TCP.
-				tc := *resp
-				tc.Header.TC = true
-				tc.Answers, tc.Authority, tc.Additional = nil, nil, nil
-				resp = &tc
+				tc.Fault("server", 1, "truncate", qnow)
+				tcr := *resp
+				tcr.Header.TC = true
+				tcr.Answers, tcr.Authority, tcr.Additional = nil, nil, nil
+				resp = &tcr
 			}
 		}
 		if rec != nil {
+			tc.Sensor(s.authority, rec.Originator, rec.Querier, rec.RCode, rec.Time)
 			s.mu.Lock()
 			if s.sink != nil {
 				s.sink(*rec)
@@ -333,6 +365,8 @@ func (s *Server) serve() {
 		}
 		if !answer {
 			m.silentInc()
+			tc.Serve(s.authority, "silent", qnow)
+			tc.Finish(qnow, 1)
 			continue // unreachable-authority simulation: stay silent
 		}
 		out = out[:0]
@@ -341,8 +375,32 @@ func (s *Server) serve() {
 			continue
 		}
 		m.rcode(resp.Header.RCode).Inc()
+		tc.Serve(s.authority, trace.RCodeName(resp.Header.RCode), qnow)
+		tc.Finish(qnow, 1)
 		_, _ = s.conn.WriteToUDP(out, peer)
 	}
+}
+
+// peerQuerier extracts the querier's IPv4 address from a UDP peer (0 for
+// non-IPv4 peers).
+func peerQuerier(peer *net.UDPAddr) ipaddr.Addr {
+	if v4 := peer.IP.To4(); v4 != nil {
+		return ipaddr.FromOctets(v4[0], v4[1], v4[2], v4[3])
+	}
+	return 0
+}
+
+// queryOrig parses the originator out of a reverse query's qname (0 when
+// the question is not an in-addr.arpa PTR name — referral traffic).
+func queryOrig(msg *dnswire.Message) ipaddr.Addr {
+	if len(msg.Questions) != 1 {
+		return 0
+	}
+	orig, err := ipaddr.FromReverseName(msg.Questions[0].Name)
+	if err != nil {
+		return 0
+	}
+	return orig
 }
 
 // serveTCP accepts truncation-fallback connections. Each connection gets
@@ -404,7 +462,7 @@ func (s *Server) serveTCPConn(conn net.Conn) {
 			return
 		}
 		s.mu.Lock()
-		h, m := s.handler, s.metrics
+		h, m, clock, tr := s.handler, s.metrics, s.clock, s.tracer
 		s.mu.Unlock()
 		if err := dnswire.DecodeInto(buf, &msg); err != nil {
 			atomic.AddUint64(&s.dropped, 1)
@@ -419,8 +477,16 @@ func (s *Server) serveTCPConn(conn net.Conn) {
 		atomic.AddUint64(&s.queries, 1)
 		m.queriesInc()
 		m.tcpInc()
+		var tc *trace.Ctx
+		var qnow simtime.Time
+		if tr != nil {
+			qnow = clock()
+			tc = tr.Begin(peerQuerier(peer), queryOrig(&msg), qnow)
+			tc.TCP("server", 1, qnow)
+		}
 		resp, rec, answer := h(&msg, peer)
 		if rec != nil {
+			tc.Sensor(s.authority, rec.Originator, rec.Querier, rec.RCode, rec.Time)
 			s.mu.Lock()
 			if s.sink != nil {
 				s.sink(*rec)
@@ -429,6 +495,8 @@ func (s *Server) serveTCPConn(conn net.Conn) {
 		}
 		if !answer {
 			m.silentInc()
+			tc.Serve(s.authority, "silent", qnow)
+			tc.Finish(qnow, 1)
 			return
 		}
 		// Encode standalone, then frame: name-compression offsets are
@@ -440,6 +508,8 @@ func (s *Server) serveTCPConn(conn net.Conn) {
 		out = append(out[:0], byte(len(body)>>8), byte(len(body)))
 		out = append(out, body...)
 		m.rcode(resp.Header.RCode).Inc()
+		tc.Serve(s.authority, trace.RCodeName(resp.Header.RCode), qnow)
+		tc.Finish(qnow, 1)
 		if _, err := conn.Write(out); err != nil {
 			return
 		}

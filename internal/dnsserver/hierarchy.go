@@ -12,6 +12,7 @@ import (
 	"dnsbackscatter/internal/ipaddr"
 	"dnsbackscatter/internal/obs"
 	"dnsbackscatter/internal/simtime"
+	"dnsbackscatter/internal/trace"
 )
 
 // This file implements the delegation side of Figure 1 over real sockets:
@@ -150,9 +151,17 @@ type Recursor struct {
 	// NegTTL caches NXDomain answers (default 5 minutes).
 	NegTTL simtime.Duration
 
-	cache *cache.Cache
-	m     *recursorMetrics
+	cache  *cache.Cache
+	m      *recursorMetrics
+	tracer *trace.Tracer
 }
+
+// SetTracer installs (or, with nil, removes) the end-to-end tracer:
+// every uncached ResolvePTR begins a trace whose events are the hops of
+// the live referral chain (root → national → final), so delegation walks
+// are visible span by span. The recursor itself is the querier, so the
+// trace's querier address is zero.
+func (r *Recursor) SetTracer(t *trace.Tracer) { r.tracer = t }
 
 // NewRecursor returns a recursor with a fresh cache.
 func NewRecursor(roots ...string) *Recursor {
@@ -227,8 +236,11 @@ const maxChase = 8
 // authorities contacted.
 func (r *Recursor) ResolvePTR(addr ipaddr.Addr, now simtime.Time) (string, Trace, error) {
 	var tr Trace
+	tc := r.tracer.Begin(0, addr, now)
 	if e, ok := r.cache.Get(rcPTRKey(addr), now); ok {
 		r.m.answered(true)
+		tc.CacheHit(now)
+		tc.Finish(now, 0)
 		if e.Negative {
 			return "", tr, nil
 		}
@@ -250,6 +262,16 @@ func (r *Recursor) ResolvePTR(addr ipaddr.Addr, now simtime.Time) (string, Trace
 		server, level = r.Roots[0], 0
 	}
 
+	levelName := func(l int) string {
+		switch l {
+		case 0:
+			return "root"
+		case 1:
+			return "national"
+		default:
+			return "final"
+		}
+	}
 	for hop := 0; hop < maxChase; hop++ {
 		switch level {
 		case 0:
@@ -259,26 +281,35 @@ func (r *Recursor) ResolvePTR(addr ipaddr.Addr, now simtime.Time) (string, Trace
 		default:
 			tr.Final = true
 		}
+		tc.Query(levelName(level), hop+1, now)
 		msg, sent, err := r.Client.queryPTR(server, addr)
 		tr.Queries += sent
 		r.m.sent(level, sent)
 		if err != nil {
 			// Unreachable authority: remember briefly, as stubs do.
 			r.cache.PutNegative(rcPTRKey(addr), r.NegTTL, now)
+			tc.Fault(levelName(level), hop+1, "unreachable", now)
+			tc.GiveUp(levelName(level), now)
+			tc.Finish(now, tr.Queries)
 			return "", tr, err
 		}
+		tc.Answer(levelName(level), msg.Header.RCode, 0, now)
 		switch {
 		case len(msg.Answers) > 0 && msg.Answers[0].Type == dnswire.TypePTR:
 			ttl := simtime.Duration(msg.Answers[0].TTL)
 			r.cache.Put(rcPTRKey(addr), msg.Answers[0].Target, ttl, now)
+			tc.Finish(now, tr.Queries)
 			return msg.Answers[0].Target, tr, nil
 		case msg.Header.RCode == dnswire.RCodeNXDomain:
 			r.cache.PutNegative(rcPTRKey(addr), r.NegTTL, now)
+			tc.Finish(now, tr.Queries)
 			return "", tr, nil
 		case msg.Header.RCode == dnswire.RCodeServFail:
 			// A storming authority: remember the failure briefly (the
 			// live ServFailTTL analogue) instead of chasing referrals.
 			r.cache.PutNegative(rcPTRKey(addr), r.NegTTL, now)
+			tc.Fault(levelName(level), hop+1, "servfail", now)
+			tc.Finish(now, tr.Queries)
 			return "", tr, fmt.Errorf("dnsserver: SERVFAIL from %s", server)
 		default:
 			zone, next, ttl, ok := referralTarget(msg)
@@ -297,6 +328,8 @@ func (r *Recursor) ResolvePTR(addr ipaddr.Addr, now simtime.Time) (string, Trace
 			server = next.String()
 		}
 	}
+	tc.GiveUp(levelName(level), now)
+	tc.Finish(now, tr.Queries)
 	return "", tr, fmt.Errorf("dnsserver: referral chain exceeded %d hops", maxChase)
 }
 

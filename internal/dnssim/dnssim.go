@@ -30,6 +30,7 @@ import (
 	"dnsbackscatter/internal/obs"
 	"dnsbackscatter/internal/rng"
 	"dnsbackscatter/internal/simtime"
+	"dnsbackscatter/internal/trace"
 )
 
 // Config sets the hierarchy's caching behavior.
@@ -174,14 +175,18 @@ func NewSensor(name string, sample int) *Sensor {
 }
 
 // Observe records one query, subject to sampling and the collection
-// horizon.
-func (s *Sensor) Observe(now simtime.Time, orig, querier ipaddr.Addr, rcode uint8) {
+// horizon. It reports whether a record was actually kept — tracing uses
+// this to emit sensor events only for records the pipeline will see.
+func (s *Sensor) Observe(now simtime.Time, orig, querier ipaddr.Addr, rcode uint8) bool {
+	if s == nil {
+		return false
+	}
 	if s.End != 0 && !now.Before(s.End) {
-		return
+		return false
 	}
 	s.n++
 	if s.Sample > 1 && s.n%uint64(s.Sample) != 0 {
-		return
+		return false
 	}
 	s.Records = append(s.Records, dnslog.Record{
 		Time:       now,
@@ -190,6 +195,7 @@ func (s *Sensor) Observe(now simtime.Time, orig, querier ipaddr.Addr, rcode uint
 		Authority:  s.Name,
 		RCode:      rcode,
 	})
+	return true
 }
 
 // Seen returns the total number of queries arriving at the sensor before
@@ -258,7 +264,17 @@ type Hierarchy struct {
 
 	faults *faults.Plan
 	m      *hierMetrics
+	tracer *trace.Tracer
 }
+
+// SetTracer installs (or, with nil, removes) the end-to-end lookup
+// tracer. Resolve begins a trace per uncached lookup; callers that want
+// to annotate the trace with upstream context (world activity) begin it
+// themselves via Tracer().Begin and call ResolveTraced.
+func (h *Hierarchy) SetTracer(t *trace.Tracer) { h.tracer = t }
+
+// Tracer returns the installed tracer (nil when tracing is off).
+func (h *Hierarchy) Tracer() *trace.Tracer { return h.tracer }
 
 // hierMetrics holds the hierarchy's pre-resolved counters. Nil receiver =
 // uninstrumented; every method is then a no-op.
@@ -315,50 +331,54 @@ func (h *Hierarchy) SetFaults(p *faults.Plan) {
 	h.faults = p
 }
 
-func (m *hierMetrics) resolve(cached bool) {
+// The metric methods carry the simulated instant of the event they count
+// so a Window attached to the registry buckets them into time series
+// (totals are unchanged without one).
+
+func (m *hierMetrics) resolve(cached bool, now simtime.Time) {
 	if m == nil {
 		return
 	}
-	m.resolves.Inc()
+	m.resolves.IncAt(now)
 	if cached {
-		m.cached.Inc()
+		m.cached.IncAt(now)
 	}
 }
 
 // query counts one authority query at level li (index into hierLevels);
 // hidden marks upper-tree queries whose reverse name QNAME minimization
 // stripped of the originator.
-func (m *hierMetrics) query(li int, hidden bool) {
+func (m *hierMetrics) query(li int, hidden bool, now simtime.Time) {
 	if m == nil {
 		return
 	}
-	m.level[li].Inc()
+	m.level[li].IncAt(now)
 	if hidden {
-		m.hidden.Inc()
+		m.hidden.IncAt(now)
 	}
 }
 
-func (m *hierMetrics) retry() {
+func (m *hierMetrics) retry(now simtime.Time) {
 	if m != nil {
-		m.retries.Inc()
+		m.retries.IncAt(now)
 	}
 }
 
-func (m *hierMetrics) giveup() {
+func (m *hierMetrics) giveup(now simtime.Time) {
 	if m != nil {
-		m.gaveup.Inc()
+		m.gaveup.IncAt(now)
 	}
 }
 
-func (m *hierMetrics) tcpFallback() {
+func (m *hierMetrics) tcpFallback(now simtime.Time) {
 	if m != nil {
-		m.tcpFallbacks.Inc()
+		m.tcpFallbacks.IncAt(now)
 	}
 }
 
-func (m *hierMetrics) finalTimeout() {
+func (m *hierMetrics) finalTimeout(now simtime.Time) {
 	if m != nil {
-		m.finalTimeouts.Inc()
+		m.finalTimeouts.IncAt(now)
 	}
 }
 
@@ -427,18 +447,24 @@ func bgWarm(r *Resolver, zoneKey uint64, ttl simtime.Duration, now simtime.Time)
 // arrives and its rcode; dead authorities and dropped packets produce no
 // observation, SERVFAIL answers observe with RCodeServFail, and
 // truncated answers are re-asked over TCP (one extra query, one extra
-// observation a second later). It returns whether a clean answer
-// arrived, when it arrived, and how many queries were sent.
+// observation a second later). Every attempt, injected fault, and answer
+// is annotated on tc (a nil tc traces nothing). It returns whether a
+// clean answer arrived, when it arrived, and how many queries were sent.
 func (h *Hierarchy) exchange(r *Resolver, orig ipaddr.Addr, li int, zone uint64,
 	hidden bool, rcode uint8, unreachable bool,
-	obsv func(simtime.Time, uint8), now simtime.Time) (ok bool, done simtime.Time, sent int) {
+	obsv func(simtime.Time, uint8), now simtime.Time, tc *trace.Ctx) (ok bool, done simtime.Time, sent int) {
+	lv := hierLevels[li]
 	if h.faults == nil {
-		h.m.query(li, hidden)
+		h.m.query(li, hidden, now)
+		tc.Query(lv, 1, now)
 		if unreachable {
-			h.m.giveup()
+			h.m.giveup(now)
+			tc.Fault(lv, 1, "unreachable", now)
+			tc.GiveUp(lv, now)
 			return false, now, 1
 		}
 		obsv(now, rcode)
+		tc.Answer(lv, rcode, 0, now)
 		return true, now, 1
 	}
 
@@ -447,36 +473,55 @@ func (h *Hierarchy) exchange(r *Resolver, orig ipaddr.Addr, li int, zone uint64,
 	t := now
 	for attempt := 0; attempt < pol.Attempts; attempt++ {
 		if attempt > 0 {
-			h.m.retry()
+			h.m.retry(t)
 			t = t.Add(pol.Backoff(attempt))
 		}
-		h.m.query(li, hidden)
+		h.m.query(li, hidden, t)
+		tc.Query(lv, attempt+1, t)
 		sent++
 		if unreachable || h.faults.IsDead(li, zone, t) {
-			continue // authority dark: the query times out silently
+			// Authority dark: the query times out silently.
+			fk := "dead"
+			if unreachable {
+				fk = "unreachable"
+			}
+			tc.Fault(lv, attempt+1, fk, t)
+			continue
 		}
 		if h.faults.Drop(li, res, sub, t, attempt) {
+			tc.Fault(lv, attempt+1, "loss", t)
 			continue // datagram lost in flight: timeout, then retry
 		}
-		at := t.Add(h.faults.LatencyFor(li, res, sub, t, attempt))
+		lat := h.faults.LatencyFor(li, res, sub, t, attempt)
+		if lat > 0 {
+			tc.Fault(lv, attempt+1, "latency", t)
+		}
+		at := t.Add(lat)
 		if h.faults.ServFails(li, zone, t, attempt) {
+			tc.Fault(lv, attempt+1, "servfail", at)
 			obsv(at, dnswire.RCodeServFail)
+			tc.Answer(lv, dnswire.RCodeServFail, lat, at)
 			t = at
 			continue
 		}
 		obsv(at, rcode)
+		tc.Answer(lv, rcode, lat, at)
 		if h.faults.TruncateAnswer(li, res, sub, at) {
 			// TC answer: re-ask the same authority over TCP. The TCP
 			// exchange succeeds and the authority logs a second query.
-			h.m.tcpFallback()
-			h.m.query(li, hidden)
+			h.m.tcpFallback(at)
+			tc.Fault(lv, attempt+1, "truncate", at)
+			tc.TCP(lv, attempt+1, at)
+			h.m.query(li, hidden, at)
 			sent++
 			at = at.Add(1)
 			obsv(at, rcode)
+			tc.Answer(lv, rcode, 0, at)
 		}
 		return true, at, sent
 	}
-	h.m.giveup()
+	h.m.giveup(t)
+	tc.GiveUp(lv, t)
 	return false, t, sent
 }
 
@@ -486,13 +531,24 @@ func (h *Hierarchy) exchange(r *Resolver, orig ipaddr.Addr, li int, zone uint64,
 // fault plan is installed, any level that exhausts its retries aborts the
 // lookup: the resolver negative-caches the name for ServFailTTL — the
 // same rate limit the dead-final path always used — and the giveup is
-// counted in resolver_gaveup_total.
+// counted in resolver_gaveup_total. With a tracer installed, Resolve
+// begins a trace for the lookup (subject to head sampling).
 func (h *Hierarchy) Resolve(r *Resolver, orig ipaddr.Addr, now simtime.Time) int {
+	return h.ResolveTraced(r, orig, now, h.tracer.Begin(r.Addr, orig, now))
+}
+
+// ResolveTraced is Resolve with a caller-supplied trace context, for
+// callers (world activity) that begin the trace themselves to annotate
+// it with upstream context. A nil tc traces nothing; the resolution path
+// is identical either way.
+func (h *Hierarchy) ResolveTraced(r *Resolver, orig ipaddr.Addr, now simtime.Time, tc *trace.Ctx) int {
 	if _, ok := r.cache.Get(ptrKey(orig), now); ok {
-		h.m.resolve(true)
+		h.m.resolve(true, now)
+		tc.CacheHit(now)
+		tc.Finish(now, 0)
 		return 0
 	}
-	h.m.resolve(false)
+	h.m.resolve(false, now)
 
 	// A retransmitting stub re-sends this lookup's queries ~3 s later,
 	// before any answer has been cached.
@@ -501,9 +557,13 @@ func (h *Hierarchy) Resolve(r *Resolver, orig ipaddr.Addr, now simtime.Time) int
 		if s == nil {
 			return
 		}
-		s.Observe(t, orig, r.Addr, rcode)
+		if s.Observe(t, orig, r.Addr, rcode) {
+			tc.Sensor(s.Name, orig, r.Addr, rcode, t)
+		}
 		if dup {
-			s.Observe(t.Add(3), orig, r.Addr, rcode)
+			if s.Observe(t.Add(3), orig, r.Addr, rcode) {
+				tc.Sensor(s.Name, orig, r.Addr, rcode, t.Add(3))
+			}
 		}
 	}
 
@@ -530,10 +590,11 @@ func (h *Hierarchy) Resolve(r *Resolver, orig ipaddr.Addr, now simtime.Time) int
 		}
 		ok, done, sent := h.exchange(r, orig, 0, z8Key(orig), r.QNameMin,
 			dnswire.RCodeNoError,
-			false, func(t simtime.Time, rc uint8) { observe(root, t, rc) }, cur)
+			false, func(t simtime.Time, rc uint8) { observe(root, t, rc) }, cur, tc)
 		queries += sent
 		if !ok {
 			r.cache.PutNegative(ptrKey(orig), h.Cfg.ServFailTTL, cur)
+			tc.Finish(cur, queries)
 			return queries
 		}
 		cur = done
@@ -549,10 +610,11 @@ func (h *Hierarchy) Resolve(r *Resolver, orig ipaddr.Addr, now simtime.Time) int
 		}
 		ok, done, sent := h.exchange(r, orig, 1, z8Key(orig), r.QNameMin,
 			dnswire.RCodeNoError,
-			false, func(t simtime.Time, rc uint8) { observe(nat, t, rc) }, cur)
+			false, func(t simtime.Time, rc uint8) { observe(nat, t, rc) }, cur, tc)
 		queries += sent
 		if !ok {
 			r.cache.PutNegative(ptrKey(orig), h.Cfg.ServFailTTL, cur)
+			tc.Finish(cur, queries)
 			return queries
 		}
 		cur = done
@@ -568,15 +630,16 @@ func (h *Hierarchy) Resolve(r *Resolver, orig ipaddr.Addr, now simtime.Time) int
 	fin := h.finals[orig.Slash16()]
 	ok, done, sent := h.exchange(r, orig, 2, z16Key(orig), false, rcode,
 		p.FinalUnreachable,
-		func(t simtime.Time, rc uint8) { observe(fin, t, rc) }, cur)
+		func(t simtime.Time, rc uint8) { observe(fin, t, rc) }, cur, tc)
 	queries += sent
 	if !ok {
 		// Timeout at the dead (or fault-exhausted) final: nothing arrives
 		// to record, but the failure itself is now visible as
 		// dnssim_final_timeouts_total; remember it briefly so retries are
 		// rate-limited.
-		h.m.finalTimeout()
+		h.m.finalTimeout(cur)
 		r.cache.PutNegative(ptrKey(orig), h.Cfg.ServFailTTL, cur)
+		tc.Finish(cur, queries)
 		return queries
 	}
 	if p.HasName {
@@ -584,6 +647,7 @@ func (h *Hierarchy) Resolve(r *Resolver, orig ipaddr.Addr, now simtime.Time) int
 	} else {
 		r.cache.PutNegative(ptrKey(orig), r.capTTL(p.NegTTL), done)
 	}
+	tc.Finish(done, queries)
 	return queries
 }
 

@@ -230,9 +230,11 @@ type metrics struct {
 	injected [numKinds]*obs.Counter
 }
 
-func (m *metrics) inject(k Kind) {
+// inject counts one injected fault of kind k at simulated time now, so
+// an attached obs.Window can bucket fault storms into time series.
+func (m *metrics) inject(k Kind, now simtime.Time) {
 	if m != nil {
-		m.injected[k].Inc()
+		m.injected[k].IncAt(now)
 	}
 }
 
@@ -309,7 +311,7 @@ func (p *Plan) Drop(level int, resolver, subject uint64, now simtime.Time, attem
 	if p.draw(Loss, uint64(level)<<32|uint64(uint32(attempt)), resolver, subject, uint64(now)) >= p.Profile.Loss {
 		return false
 	}
-	p.m.Load().inject(Loss)
+	p.m.Load().inject(Loss, now)
 	return true
 }
 
@@ -329,7 +331,7 @@ func (p *Plan) LatencyFor(level int, resolver, subject uint64, now simtime.Time,
 	if d > pr.LatencyMax {
 		d = pr.LatencyMax
 	}
-	p.m.Load().inject(Latency)
+	p.m.Load().inject(Latency, now)
 	return d
 }
 
@@ -342,7 +344,7 @@ func (p *Plan) TruncateAnswer(level int, resolver, subject uint64, now simtime.T
 	if p.draw(Truncate, uint64(level), resolver, subject, uint64(now)) >= p.Profile.Truncate {
 		return false
 	}
-	p.m.Load().inject(Truncate)
+	p.m.Load().inject(Truncate, now)
 	return true
 }
 
@@ -363,7 +365,7 @@ func (p *Plan) ServFails(level int, zone uint64, now simtime.Time, attempt int) 
 	if p.draw(ServFail, uint64(level)<<32|uint64(uint32(attempt)), zone, 0, uint64(now)) >= prob {
 		return false
 	}
-	p.m.Load().inject(ServFail)
+	p.m.Load().inject(ServFail, now)
 	return true
 }
 
@@ -389,7 +391,7 @@ func (p *Plan) IsDead(level int, zone uint64, now simtime.Time) bool {
 	if p.draw(Dead, uint64(level), zone, epoch, 0) >= p.Profile.Dead {
 		return false
 	}
-	p.m.Load().inject(Dead)
+	p.m.Load().inject(Dead, now)
 	return true
 }
 

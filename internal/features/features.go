@@ -22,6 +22,7 @@ import (
 	"dnsbackscatter/internal/parallel"
 	"dnsbackscatter/internal/qname"
 	"dnsbackscatter/internal/simtime"
+	"dnsbackscatter/internal/trace"
 )
 
 // NumStatic is the count of static (name-category) features.
@@ -109,6 +110,14 @@ type Extractor struct {
 	// contract of ARCHITECTURE.md); with Workers != 1, Geo and NameOf
 	// must be safe for concurrent read-only use.
 	Workers int
+	// Tracer, when non-nil, joins records back to their lookup traces
+	// (via the tracer's sensor-record index) and annotates each trace
+	// with the pipeline's per-stage decisions: dedup kept/dropped,
+	// filter kept/dropped at the analyzability threshold, extract
+	// vector emission. Safe with any Workers value — pipeline events
+	// are committed under the tracer lock and rendered as a sorted
+	// multiset, so output bytes never depend on worker interleaving.
+	Tracer *trace.Tracer
 }
 
 // NewExtractor returns an extractor with the paper's defaults.
@@ -121,6 +130,9 @@ type originatorAgg struct {
 	queries  int
 	queriers map[ipaddr.Addr]struct{}
 	buckets  map[int]struct{}
+	// refs are the traces whose records fed this aggregate (only
+	// populated when the extractor has a Tracer).
+	refs map[trace.ID]simtime.Time
 }
 
 // extractShards is the fixed originator-shard count for the dedup and
@@ -176,8 +188,20 @@ func (x *Extractor) Extract(recs []dnslog.Record, start simtime.Time, dur simtim
 		sh := &shardAgg{aggs: make(map[ipaddr.Addr]*originatorAgg)}
 		dedup := dnslog.NewDeduper(x.DedupWindow)
 		for _, r := range parts[s] {
+			var id trace.ID
+			var t0 simtime.Time
+			traced := false
+			if x.Tracer != nil {
+				id, t0, traced = x.Tracer.RecordID(r.Originator, r.Querier, r.Time)
+			}
 			if !dedup.Keep(r) {
+				if traced {
+					x.Tracer.Pipeline(id, t0, "dedup", "dropped", "window", r.Time)
+				}
 				continue
+			}
+			if traced {
+				x.Tracer.Pipeline(id, t0, "dedup", "kept", "", r.Time)
 			}
 			sh.kept++
 			a := sh.aggs[r.Originator]
@@ -187,6 +211,12 @@ func (x *Extractor) Extract(recs []dnslog.Record, start simtime.Time, dur simtim
 					buckets:  make(map[int]struct{}),
 				}
 				sh.aggs[r.Originator] = a
+			}
+			if traced {
+				if a.refs == nil {
+					a.refs = make(map[trace.ID]simtime.Time)
+				}
+				a.refs[id] = t0
 			}
 			a.queries++
 			a.queriers[r.Querier] = struct{}{}
@@ -227,7 +257,10 @@ func (x *Extractor) Extract(recs []dnslog.Record, start simtime.Time, dur simtim
 		}
 		for orig, a := range sh.aggs {
 			if len(a.queriers) < x.MinQueriers {
+				x.emitRefs(a, "filter", "dropped", fmt.Sprintf("queriers=%d", len(a.queriers)), start)
 				delete(sh.aggs, orig)
+			} else {
+				x.emitRefs(a, "filter", "kept", fmt.Sprintf("queriers=%d", len(a.queriers)), start)
 			}
 		}
 	})
@@ -272,7 +305,9 @@ func (x *Extractor) Extract(recs []dnslog.Record, start simtime.Time, dur simtim
 	pool.Stage = "extract"
 	out := parallel.Map(pool, len(work), func(i int) *Vector {
 		w := work[i]
-		return x.vector(w.orig, w.agg, len(allAS), len(allCountry), len(allQueriers), totalBuckets)
+		v := x.vector(w.orig, w.agg, len(allAS), len(allCountry), len(allQueriers), totalBuckets)
+		x.emitRefs(w.agg, "extract", "vector", fmt.Sprintf("queriers=%d", v.Queriers), start)
+		return v
 	})
 	// Deterministic order: by footprint descending, address ascending.
 	sort.Slice(out, func(i, j int) bool {
@@ -283,6 +318,18 @@ func (x *Extractor) Extract(recs []dnslog.Record, start simtime.Time, dur simtim
 	})
 	sp.End()
 	return out
+}
+
+// emitRefs annotates every trace that fed one originator's aggregate
+// with a pipeline stage decision. Iteration order over refs is
+// irrelevant: the tracer renders pipeline events as a sorted multiset.
+func (x *Extractor) emitRefs(a *originatorAgg, stage, outcome, detail string, at simtime.Time) {
+	if x.Tracer == nil {
+		return
+	}
+	for id, t0 := range a.refs {
+		x.Tracer.Pipeline(id, t0, stage, outcome, detail, at)
+	}
 }
 
 func (x *Extractor) vector(orig ipaddr.Addr, a *originatorAgg, totalAS, totalCountry, totalQueriers, totalBuckets int) *Vector {

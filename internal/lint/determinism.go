@@ -33,6 +33,19 @@ var timeForbidden = map[string]bool{
 	"Until": true,
 }
 
+// timeWaits names the time package functions that block on (or schedule
+// against) the wall clock. Simulated components advance simtime instead;
+// a real-time wait in library code stalls the deterministic pipeline and
+// couples test timing to the host scheduler.
+var timeWaits = map[string]bool{
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
 // randGlobal names the math/rand package-level functions that draw from
 // the unseeded process-global source. Constructors (New, NewSource,
 // NewZipf) are excluded: explicitly seeded generators are deterministic.
@@ -75,6 +88,11 @@ func runDeterminism(pkg *Package) []Finding {
 				out = append(out, Finding{
 					Pos:     pkg.Fset.Position(sel.Pos()),
 					Message: "wall-clock read time." + obj + " outside simtime; thread a simtime clock instead",
+				})
+			case pkgPath == "time" && timeWaits[obj]:
+				out = append(out, Finding{
+					Pos:     pkg.Fset.Position(sel.Pos()),
+					Message: "wall-clock wait time." + obj + " outside simtime; advance simulated time instead",
 				})
 			case isRandPkg(pkgPath) && randGlobal[obj]:
 				out = append(out, Finding{

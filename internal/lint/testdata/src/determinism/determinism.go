@@ -17,6 +17,21 @@ func elapsed(start time.Time) time.Duration {
 	return time.Since(start) // want "wall-clock read time.Since"
 }
 
+func sleepy() {
+	time.Sleep(time.Second) // want "wall-clock wait time.Sleep"
+}
+
+func timerWaits() {
+	<-time.After(time.Second) // want "wall-clock wait time.After"
+	<-time.Tick(time.Second)  // want "wall-clock wait time.Tick"
+	_ = time.NewTimer(1)      // want "wall-clock wait time.NewTimer"
+	_ = time.NewTicker(1)     // want "wall-clock wait time.NewTicker"
+}
+
+func durationMathOK(d time.Duration) time.Duration {
+	return d * 2 // time.Duration values themselves are fine
+}
+
 func globalRand() int {
 	return rand.Intn(10) // want "global math/rand.Intn"
 }

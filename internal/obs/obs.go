@@ -29,6 +29,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"dnsbackscatter/internal/simtime"
 )
 
 // Label is one name=value metric dimension.
@@ -45,8 +47,9 @@ func L(key, value string) Label { return Label{Key: key, Value: value} }
 // Counter is a monotonically increasing metric. The zero value is ready to
 // use; a nil Counter discards increments.
 type Counter struct {
-	id string
-	v  atomic.Uint64
+	id  string
+	v   atomic.Uint64
+	win atomic.Pointer[Window]
 }
 
 // Inc adds one.
@@ -63,6 +66,22 @@ func (c *Counter) Add(n uint64) {
 	}
 }
 
+// IncAt adds one, attributing the increment to simulated time now so an
+// attached Window buckets it. Without a window it is exactly Inc.
+func (c *Counter) IncAt(now simtime.Time) { c.AddAt(1, now) }
+
+// AddAt adds n, attributing the increment to simulated time now so an
+// attached Window buckets it. Without a window it is exactly Add.
+func (c *Counter) AddAt(n uint64, now simtime.Time) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+	if w := c.win.Load(); w != nil {
+		w.add(c.id, int64(n), now)
+	}
+}
+
 // Value returns the current count (0 for a nil Counter).
 func (c *Counter) Value() uint64 {
 	if c == nil {
@@ -73,14 +92,28 @@ func (c *Counter) Value() uint64 {
 
 // Gauge is a metric that can go up and down. A nil Gauge discards writes.
 type Gauge struct {
-	id string
-	v  atomic.Int64
+	id  string
+	v   atomic.Int64
+	win atomic.Pointer[Window]
 }
 
 // Set stores v.
 func (g *Gauge) Set(v int64) {
 	if g != nil {
 		g.v.Store(v)
+	}
+}
+
+// SetAt stores v, attributing the reading to simulated time now so an
+// attached Window buckets it (last write in a bucket wins). Without a
+// window it is exactly Set.
+func (g *Gauge) SetAt(v int64, now simtime.Time) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+	if w := g.win.Load(); w != nil {
+		w.set(g.id, v, now)
 	}
 }
 
@@ -110,6 +143,36 @@ type Registry struct {
 	gauges   map[string]*Gauge     // guarded by mu
 	hists    map[string]*Histogram // guarded by mu
 	clock    Clock                 // guarded by mu
+	window   *Window               // guarded by mu
+}
+
+// SetWindow attaches a windowed time-series aggregator: every existing
+// and future counter/gauge in the registry routes its IncAt/AddAt/SetAt
+// writes into w's buckets. A nil w detaches. Safe to call on a nil
+// registry (no-op).
+func (r *Registry) SetWindow(w *Window) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.window = w
+	for _, c := range r.counters {
+		c.win.Store(w)
+	}
+	for _, g := range r.gauges {
+		g.win.Store(w)
+	}
+}
+
+// Window returns the attached windowed aggregator, or nil.
+func (r *Registry) Window() *Window {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.window
 }
 
 // NewRegistry returns an empty registry with no clock (span durations read
@@ -175,6 +238,7 @@ func (r *Registry) Counter(name string, labels ...Label) *Counter {
 	c, ok := r.counters[id]
 	if !ok {
 		c = &Counter{id: id}
+		c.win.Store(r.window)
 		r.counters[id] = c
 	}
 	return c
@@ -191,6 +255,7 @@ func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
 	g, ok := r.gauges[id]
 	if !ok {
 		g = &Gauge{id: id}
+		g.win.Store(r.window)
 		r.gauges[id] = g
 	}
 	return g

@@ -93,14 +93,18 @@ type stageRow struct {
 }
 
 // StageReport renders every recorded pipeline stage as a sorted table:
-// calls, total/mean/p50/max duration in clock units. It is deterministic
-// for deterministic clocks and empty ("no stages recorded") when nothing
+// calls, total/mean/p50/max duration in clock units, followed by the
+// parallel fan-out per stage (shards dispatched and the worker gauge)
+// when the parallel pool recorded any. It is deterministic for
+// deterministic clocks and empty ("no stages recorded") when nothing
 // ran.
 func (r *Registry) StageReport() string {
 	if r == nil {
 		return "no stages recorded\n"
 	}
 	prefix := stageHist + `{stage="`
+	shardPrefix := `parallel_shards_total{stage="`
+	workerPrefix := `parallel_workers{stage="`
 	r.mu.Lock()
 	var rows []stageRow
 	for id, h := range r.hists {
@@ -109,6 +113,20 @@ func (r *Registry) StageReport() string {
 		}
 		stage := strings.TrimSuffix(strings.TrimPrefix(id, prefix), `"}`)
 		rows = append(rows, stageRow{stage: stage, h: h})
+	}
+	shards := map[string]uint64{}
+	for id, c := range r.counters {
+		if strings.HasPrefix(id, shardPrefix) {
+			stage := strings.TrimSuffix(strings.TrimPrefix(id, shardPrefix), `"}`)
+			shards[stage] = c.Value()
+		}
+	}
+	workers := map[string]int64{}
+	for id, g := range r.gauges {
+		if strings.HasPrefix(id, workerPrefix) {
+			stage := strings.TrimSuffix(strings.TrimPrefix(id, workerPrefix), `"}`)
+			workers[stage] = g.Value()
+		}
 	}
 	r.mu.Unlock()
 	sort.Slice(rows, func(i, j int) bool { return rows[i].stage < rows[j].stage })
@@ -122,6 +140,17 @@ func (r *Registry) StageReport() string {
 		fmt.Fprintf(&b, "%-12s %8d %12d %12.1f %12d %12d\n",
 			row.stage, row.h.Count(), row.h.Sum(), row.h.Mean(),
 			row.h.Quantile(0.5), row.h.Max())
+	}
+	if len(shards) > 0 {
+		var stages []string
+		for s := range shards {
+			stages = append(stages, s)
+		}
+		sort.Strings(stages)
+		fmt.Fprintf(&b, "\n%-12s %8s %8s\n", "parallel", "shards", "workers")
+		for _, s := range stages {
+			fmt.Fprintf(&b, "%-12s %8d %8d\n", s, shards[s], workers[s])
+		}
 	}
 	return b.String()
 }

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dnsbackscatter/internal/simtime"
+)
+
+func TestWindowBucketsCounterDeltas(t *testing.T) {
+	reg := NewRegistry()
+	win := NewWindow(10)
+	reg.SetWindow(win)
+	if reg.Window() != win {
+		t.Fatal("Window accessor does not return the installed window")
+	}
+	c := reg.Counter("events_total", L("class", "scan"))
+	c.IncAt(3)
+	c.IncAt(9)
+	c.AddAt(5, 10)
+	c.Inc() // plain writes are totals-only: no bucket
+	if c.Value() != 8 {
+		t.Fatalf("counter total = %d, want 8", c.Value())
+	}
+	got := string(win.Snapshot())
+	want := `events_total{class="scan"}[1970-01-01T00:00:00Z] 2
+events_total{class="scan"}[1970-01-01T00:00:10Z] 5
+`
+	if got != want {
+		t.Fatalf("snapshot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestWindowGaugeLastWriteWins(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetWindow(NewWindow(60))
+	g := reg.Gauge("campaigns")
+	g.SetAt(5, 10)
+	g.SetAt(9, 55) // same bucket: overwrites
+	g.SetAt(2, 61) // next bucket
+	g.Set(42)      // plain write: totals-only
+	doc, err := ParseTimeseries(reg.Window().SnapshotJSON())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Width != 60 || len(doc.Series) != 1 {
+		t.Fatalf("doc = %+v", doc)
+	}
+	pts := doc.Series[0].Points
+	if len(pts) != 2 || pts[0].V != 9 || pts[1].V != 2 {
+		t.Fatalf("points = %+v, want [{0 9} {60 2}]", pts)
+	}
+}
+
+func TestSetWindowRetrofitsExistingMetrics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("early_total") // created before the window
+	g := reg.Gauge("early_gauge")
+	reg.SetWindow(NewWindow(1))
+	c.IncAt(7)
+	g.SetAt(3, 7)
+	if got := string(reg.Window().Snapshot()); !strings.Contains(got, "early_total[") ||
+		!strings.Contains(got, "early_gauge[") {
+		t.Fatalf("pre-window metrics missing from buckets:\n%s", got)
+	}
+}
+
+func TestWindowNilSafety(t *testing.T) {
+	var w *Window
+	if w.Width() != 0 {
+		t.Error("nil Width != 0")
+	}
+	w.add("x", 1, 0)
+	w.set("x", 1, 0)
+	if len(w.Snapshot()) != 0 {
+		t.Error("nil Snapshot not empty")
+	}
+	if doc := w.series(); len(doc.Series) != 0 {
+		t.Error("nil series not empty")
+	}
+	if len(w.Sparklines()) != 0 {
+		t.Error("nil Sparklines not empty")
+	}
+
+	// A registry without a window: *At writes stay totals-only.
+	reg := NewRegistry()
+	c := reg.Counter("no_window_total")
+	c.IncAt(5)
+	if c.Value() != 1 {
+		t.Error("IncAt without a window lost the total")
+	}
+	if reg.Window() != nil {
+		t.Error("registry window not nil by default")
+	}
+}
+
+func TestWindowWidthClamp(t *testing.T) {
+	if w := NewWindow(0); w.Width() != 1 {
+		t.Fatalf("Width = %d, want clamp to 1", w.Width())
+	}
+}
+
+func TestWindowSnapshotDeterminism(t *testing.T) {
+	build := func(order []int) []byte {
+		reg := NewRegistry()
+		reg.SetWindow(NewWindow(5))
+		a := reg.Counter("a_total")
+		b := reg.Counter("b_total", L("x", "1"))
+		for _, i := range order {
+			a.IncAt(simtime.Time(i))
+			b.AddAt(uint64(i%3), simtime.Time(i*2))
+		}
+		return reg.Window().SnapshotJSON()
+	}
+	fwd := build([]int{1, 2, 3, 7, 11, 13})
+	rev := build([]int{13, 11, 7, 3, 2, 1})
+	if !bytes.Equal(fwd, rev) {
+		t.Fatalf("window JSON depends on write order:\n%s\nvs\n%s", fwd, rev)
+	}
+}
+
+func TestParseTimeseriesError(t *testing.T) {
+	if _, err := ParseTimeseries([]byte("{nope")); err == nil {
+		t.Error("malformed document accepted")
+	}
+}
+
+func TestSparkSeries(t *testing.T) {
+	s := Series{Metric: "m", Points: []Point{{T: 0, V: 0}, {T: 10, V: 5}, {T: 20, V: 10}}}
+	got := SparkSeries(s, 10)
+	if !strings.HasSuffix(got, "max=10") {
+		t.Fatalf("SparkSeries = %q", got)
+	}
+	strip := strings.Fields(got)[0]
+	if len(strip) != 3 || strip[0] != '_' || strip[2] != '@' {
+		t.Fatalf("sparkline strip = %q, want low-to-high ramp", strip)
+	}
+	if SparkSeries(Series{}, 10) != "" {
+		t.Error("empty series rendered non-empty")
+	}
+
+	// Ranges wider than 120 columns compress into the last column.
+	wide := Series{Metric: "w", Points: []Point{{T: 0, V: 1}, {T: 10 * 1000, V: 3}}}
+	if out := SparkSeries(wide, 10); len(strings.Fields(out)[0]) != 120 {
+		t.Errorf("wide series strip = %d cols, want 120", len(strings.Fields(out)[0]))
+	}
+}
+
+func TestSparklinesBlock(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetWindow(NewWindow(2))
+	reg.Counter("zz_total").IncAt(0)
+	reg.Counter("aa_total").IncAt(2)
+	out := string(reg.Window().Sparklines())
+	ai, zi := strings.Index(out, "aa_total"), strings.Index(out, "zz_total")
+	if ai < 0 || zi < 0 || ai > zi {
+		t.Fatalf("sparklines unsorted or missing:\n%s", out)
+	}
+}

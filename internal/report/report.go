@@ -9,6 +9,7 @@ package report
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 
@@ -37,6 +38,10 @@ type Store struct {
 	// built spec (DatasetSpec.Faults); "" disables injection. Set it
 	// before the first Get.
 	Faults string
+	// Trace is the tracing sample divisor threaded into every built spec
+	// (DatasetSpec.Trace): 0 disables tracing, 1 traces every lookup,
+	// N keeps the deterministic 1/N. Set it before the first Get.
+	Trace int
 
 	mu sync.Mutex
 	ds map[string]*backscatter.Dataset // guarded by mu
@@ -57,9 +62,28 @@ func (s *Store) Get(spec backscatter.DatasetSpec) *backscatter.Dataset {
 	if d, ok := s.ds[spec.Name]; ok {
 		return d
 	}
-	d := backscatter.BuildObserved(spec.Scaled(s.Scale).WithParallelism(s.Workers).WithFaults(s.Faults), s.Obs)
+	d := backscatter.BuildObserved(
+		spec.Scaled(s.Scale).WithParallelism(s.Workers).WithFaults(s.Faults).WithTracing(s.Trace),
+		s.Obs)
 	s.ds[spec.Name] = d
 	return d
+}
+
+// Datasets returns every dataset the store has built so far, sorted by
+// name, so trace and time-series dumps iterate deterministically.
+func (s *Store) Datasets() []*backscatter.Dataset {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.ds))
+	for n := range s.ds {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*backscatter.Dataset, 0, len(names))
+	for _, n := range names {
+		out = append(out, s.ds[n])
+	}
+	return out
 }
 
 // Experiment pairs a name with its generator, for bsrepro's registry.

@@ -1,0 +1,391 @@
+// Package trace is the reproduction's end-to-end query tracing layer:
+// dnstap-style structured events following one reverse lookup from the
+// originating activity through the stub and recursive resolver tiers, any
+// injected faults, the sensor tap, and finally the Figure 2 pipeline's
+// verdict on the records it produced.
+//
+// Tracing obeys the repository's determinism rules:
+//
+//   - Trace IDs are pure splitmix64 hashes of (seed, querier, qname,
+//     time) — no stateful RNG, so the same lookup gets the same ID in
+//     every run and at any worker count.
+//   - Sampling is head-based and hash-derived (keep the trace iff
+//     id mod N == 0), so a sampled run emits a strict, deterministic
+//     subset of a full run.
+//   - JSONL output is rendered sorted by (t0, trace, seq, time, bytes),
+//     making the rendered log a canonical form of the event multiset:
+//     byte-identical regardless of the order events were committed in,
+//     which is what lets parallel pipeline stages annotate provenance.
+//
+// Nil-safety mirrors internal/obs: every method on a nil *Tracer or nil
+// *Ctx is a no-op, so instrumented packages hold an optional tracer
+// without guarding call sites, and the tracing-disabled hot path does not
+// allocate.
+package trace
+
+import (
+	"sync"
+
+	"dnsbackscatter/internal/ipaddr"
+	"dnsbackscatter/internal/simtime"
+)
+
+// mix64 is the splitmix64 finalizer, the same pure hash the fault planner
+// and dnssim use for side draws. Every trace ID is derived from it.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// ID identifies one end-to-end lookup trace. It renders as a 16-digit
+// zero-padded hex string in JSON and text.
+type ID uint64
+
+// IDOf derives the trace ID for a lookup as a pure hash of the tracer
+// seed, the querier address, the qname (represented by the originator
+// address whose reverse name is being resolved), and the lookup start
+// time. No state is consumed: the same four inputs always give the same
+// ID.
+func IDOf(seed uint64, querier, qname uint64, now int64) ID {
+	h := mix64(seed)
+	h = mix64(h ^ querier)
+	h = mix64(h ^ qname)
+	h = mix64(h ^ uint64(now))
+	return ID(h)
+}
+
+// Trace is one committed lookup: its ID, start time, and events in
+// sequence order.
+type Trace struct {
+	// ID is the lookup's hash-derived identity.
+	ID ID
+	// T0 is the simulated time the lookup began.
+	T0 simtime.Time
+	// Events are the lookup's events in Seq order.
+	Events []Event
+}
+
+// recKey joins a sensor-side record back to its trace: the pipeline sees
+// (originator, querier, record time) but not the lookup start time, so the
+// tracer indexes sensor events under this key.
+type recKey struct {
+	orig    ipaddr.Addr
+	querier ipaddr.Addr
+	at      simtime.Time
+}
+
+// recRef is the index value: which trace, started when.
+type recRef struct {
+	id ID
+	t0 simtime.Time
+}
+
+// Tracer collects lookup traces. A nil *Tracer is the sanctioned
+// "tracing off" value: Begin returns a nil *Ctx and every method is a
+// no-op. Construct with New.
+type Tracer struct {
+	seed   uint64
+	sample uint64
+
+	mu      sync.Mutex
+	traces  []Trace           // committed ring storage, guarded by mu
+	next    int               // ring write cursor, guarded by mu
+	full    bool              // ring has wrapped, guarded by mu
+	max     int               // ring capacity; 0 = unbounded, guarded by mu
+	extra   []Event           // pipeline provenance events, guarded by mu
+	index   map[recKey]recRef // sensor record → trace join, guarded by mu
+	dropped uint64            // traces evicted by the ring, guarded by mu
+}
+
+// New returns a tracer that keeps one in sample traces (sample <= 1 keeps
+// every trace) and stores them without bound. The seed salts every trace
+// ID; use the dataset seed so IDs are stable per experiment.
+func New(seed, sample uint64) *Tracer {
+	if sample < 1 {
+		sample = 1
+	}
+	return &Tracer{seed: seed, sample: sample, index: make(map[recKey]recRef)}
+}
+
+// SetMax bounds the in-memory trace ring to at most n committed traces,
+// evicting the oldest (live serving uses this; simulations leave the
+// tracer unbounded). n <= 0 removes the bound. Must be called before
+// traces are committed.
+func (t *Tracer) SetMax(n int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	t.max = n
+}
+
+// Sample returns the tracer's 1-in-N sampling divisor (1 means every
+// trace is kept; 0 for a nil tracer).
+func (t *Tracer) Sample() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.sample
+}
+
+// Dropped returns how many committed traces the ring has evicted.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Len returns the number of committed traces currently held.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.full {
+		return t.max
+	}
+	return t.next
+}
+
+// Ctx is the trace context for one in-flight lookup, created by Begin and
+// threaded down the resolution path. A nil *Ctx (tracing off, or this
+// lookup sampled out) makes every method a no-op, so the disabled hot
+// path costs one nil check and zero allocations.
+type Ctx struct {
+	tr     *Tracer
+	id     ID
+	t0     simtime.Time
+	seq    int
+	events []Event
+}
+
+// Begin starts the trace for one lookup: querier resolving the reverse
+// name of orig at simulated time now. It returns nil when the tracer is
+// nil or the hash-derived head sampler drops this lookup.
+func (t *Tracer) Begin(querier, orig ipaddr.Addr, now simtime.Time) *Ctx {
+	if t == nil {
+		return nil
+	}
+	id := IDOf(t.seed, uint64(querier), uint64(orig), int64(now))
+	if t.sample > 1 && uint64(id)%t.sample != 0 {
+		return nil
+	}
+	c := &Ctx{tr: t, id: id, t0: now}
+	c.add(Event{Time: now, Kind: KindLookup, Querier: querier.String(), Orig: orig.String()})
+	return c
+}
+
+// ID returns the trace's identity (0 for a nil context).
+func (c *Ctx) ID() ID {
+	if c == nil {
+		return 0
+	}
+	return c.id
+}
+
+// add stamps the event with the trace identity and the next sequence
+// number and buffers it.
+func (c *Ctx) add(ev Event) {
+	ev.T0 = c.t0
+	ev.Trace = c.id
+	ev.Seq = c.seq
+	c.seq++
+	c.events = append(c.events, ev)
+}
+
+// Activity annotates the trace with the originating campaign activity
+// (class name and contact-port label) that provoked the reverse lookup.
+func (c *Ctx) Activity(class, port string) {
+	if c == nil {
+		return
+	}
+	c.add(Event{Time: c.t0, Kind: KindActivity, Class: class, Port: port})
+}
+
+// CacheHit records that the querier's resolver answered from cache and no
+// upstream query was sent.
+func (c *Ctx) CacheHit(now simtime.Time) {
+	if c == nil {
+		return
+	}
+	c.add(Event{Time: now, Kind: KindCacheHit})
+}
+
+// Query records one upstream query attempt at a hierarchy level
+// (attempt counts from 1).
+func (c *Ctx) Query(level string, attempt int, now simtime.Time) {
+	if c == nil {
+		return
+	}
+	c.add(Event{Time: now, Kind: KindQuery, Level: level, Attempt: attempt})
+}
+
+// Fault annotates the current attempt at a level with an injected fault
+// (loss, latency, truncate, servfail, dead, unreachable).
+func (c *Ctx) Fault(level string, attempt int, fault string, now simtime.Time) {
+	if c == nil {
+		return
+	}
+	c.add(Event{Time: now, Kind: KindFault, Level: level, Attempt: attempt, Fault: fault})
+}
+
+// Answer records a response at a level: its rcode and how much injected
+// latency the answer suffered.
+func (c *Ctx) Answer(level string, rcode uint8, lat simtime.Duration, now simtime.Time) {
+	if c == nil {
+		return
+	}
+	c.add(Event{Time: now, Kind: KindAnswer, Level: level, RCode: RCodeName(rcode), Dur: lat})
+}
+
+// TCP records a truncation-driven retry over TCP at a level.
+func (c *Ctx) TCP(level string, attempt int, now simtime.Time) {
+	if c == nil {
+		return
+	}
+	c.add(Event{Time: now, Kind: KindTCP, Level: level, Attempt: attempt})
+}
+
+// GiveUp records that the resolver exhausted its retry budget at a level
+// and abandoned the lookup.
+func (c *Ctx) GiveUp(level string, now simtime.Time) {
+	if c == nil {
+		return
+	}
+	c.add(Event{Time: now, Kind: KindGiveUp, Level: level})
+}
+
+// Serve records the server-side handling of one query at an authority:
+// the symbolic response code sent, or "silent" when the simulated
+// authority stayed unreachable.
+func (c *Ctx) Serve(authority, rcode string, now simtime.Time) {
+	if c == nil {
+		return
+	}
+	c.add(Event{Time: now, Kind: KindServe, Authority: authority, RCode: rcode})
+}
+
+// Sensor records that a sensor at the named authority kept a record of
+// this lookup (after sampling and horizon), and indexes the record's
+// (originator, querier, time) so the pipeline can join its provenance
+// back to this trace.
+func (c *Ctx) Sensor(authority string, orig, querier ipaddr.Addr, rcode uint8, now simtime.Time) {
+	if c == nil {
+		return
+	}
+	c.add(Event{Time: now, Kind: KindSensor, Authority: authority, RCode: RCodeName(rcode)})
+	c.tr.mu.Lock()
+	k := recKey{orig: orig, querier: querier, at: now}
+	if _, dup := c.tr.index[k]; !dup {
+		c.tr.index[k] = recRef{id: c.id, t0: c.t0}
+	}
+	c.tr.mu.Unlock()
+}
+
+// Finish commits the trace: appends the terminal "done" event carrying
+// the total simulated duration and the number of upstream queries sent,
+// then hands the events to the tracer (evicting the oldest committed
+// trace when the ring is bounded and full).
+func (c *Ctx) Finish(now simtime.Time, queries int) {
+	if c == nil {
+		return
+	}
+	c.add(Event{Time: now, Kind: KindDone, Dur: now.Sub(c.t0), Queries: queries})
+	tr := Trace{ID: c.id, T0: c.t0, Events: c.events}
+	t := c.tr
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.max > 0 {
+		if len(t.traces) < t.max {
+			t.traces = append(t.traces, tr)
+			t.next = len(t.traces) % t.max
+			t.full = len(t.traces) == t.max && t.next == 0
+			return
+		}
+		t.traces[t.next] = tr
+		t.next = (t.next + 1) % t.max
+		t.full = true
+		t.dropped++
+		return
+	}
+	t.traces = append(t.traces, tr)
+	t.next = len(t.traces)
+}
+
+// RecordID reports which trace produced the sensor record identified by
+// (originator, querier, record time), along with the trace's start time.
+// ok is false when the record's lookup was not traced (sampled out, or
+// tracing off).
+func (t *Tracer) RecordID(orig, querier ipaddr.Addr, at simtime.Time) (id ID, t0 simtime.Time, ok bool) {
+	if t == nil {
+		return 0, 0, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ref, ok := t.index[recKey{orig: orig, querier: querier, at: at}]
+	return ref.id, ref.t0, ok
+}
+
+// Pipeline appends a pipeline-provenance event to an existing trace:
+// which Figure 2 stage saw a record of this trace and what it decided.
+// It is safe to call from parallel pipeline workers; rendering sorts the
+// event multiset into canonical order, so output bytes do not depend on
+// commit order. Events for the pipeline use fixed high sequence numbers
+// (per stage) so they sort after the lookup's own events.
+func (t *Tracer) Pipeline(id ID, t0 simtime.Time, stage, outcome, detail string, now simtime.Time) {
+	if t == nil {
+		return
+	}
+	ev := Event{
+		T0: t0, Trace: id, Seq: pipelineSeq(stage), Time: now,
+		Kind: KindPipeline, Stage: stage, Outcome: outcome, Detail: detail,
+	}
+	t.mu.Lock()
+	t.extra = append(t.extra, ev)
+	t.mu.Unlock()
+}
+
+// pipelineSeq maps a pipeline stage to its fixed sequence number. Lookups
+// never reach these values, so pipeline events always sort after the DNS
+// path; ties within a stage fall through to the byte-order tiebreak.
+func pipelineSeq(stage string) int {
+	switch stage {
+	case "dedup":
+		return 1000
+	case "filter":
+		return 1001
+	case "extract":
+		return 1002
+	case "classify":
+		return 1003
+	default:
+		return 1009
+	}
+}
+
+// committed returns the ring's committed traces oldest-first plus the
+// pipeline extras, under the tracer lock.
+func (t *Tracer) committed() ([]Trace, []Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Trace
+	if t.max > 0 && t.full {
+		out = append(out, t.traces[t.next:]...)
+		out = append(out, t.traces[:t.next]...)
+	} else {
+		out = append(out, t.traces...)
+	}
+	extra := make([]Event, len(t.extra))
+	copy(extra, t.extra)
+	return out, extra
+}

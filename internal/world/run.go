@@ -27,10 +27,14 @@ func (w *World) pickTarget(global bool, home string, st *rng.Stream) ipaddr.Addr
 // and misbehaving-P2P touches also feed the darknet: each touch stands for
 // a much larger raw probe volume, thinned at the darknet's space fraction.
 func (w *World) touch(c *activity.Campaign, e activity.Event) {
-	w.m.event()
+	w.m.event(e.Time)
 	mix := w.mixes[c.Originator]
 	q := w.pool.forTarget(c.Originator, &mix, e.Target)
-	w.Hier.Resolve(q.Resolver, c.Originator, e.Time)
+	// Begin the lookup's trace here rather than inside Resolve so the
+	// campaign activity that provoked it is annotated on the span.
+	tc := w.Hier.Tracer().Begin(q.Resolver.Addr, c.Originator, e.Time)
+	tc.Activity(c.Class.String(), c.Port)
+	w.Hier.ResolveTraced(q.Resolver, c.Originator, e.Time, tc)
 	// TTL-violating queriers re-resolve while handling one event (log
 	// flushes, per-connection lookups); their repeats are what push the
 	// paper's queries-per-querier to 3-5 for hammering activity.
@@ -166,7 +170,7 @@ func (w *World) spawn(cls activity.Class, start simtime.Time, port string, maxEn
 }
 
 func (w *World) register(c *activity.Campaign, st *rng.Stream) {
-	w.m.birth(c.Class)
+	w.m.birth(c.Class, c.Start)
 	w.Campaigns = append(w.Campaigns, c)
 	w.truth[c.Originator] = Truth{Class: c.Class, Port: c.Port, Team: c.Team}
 	w.profiles[c.Originator] = w.profileForClass(c.Class, c.Originator, st)
@@ -225,11 +229,11 @@ func (w *World) Run() {
 	if w.m != nil {
 		for _, c := range w.Campaigns {
 			if c.End != 0 && c.End.Before(end) {
-				w.m.deaths.Inc()
+				w.m.deaths.IncAt(c.End)
 			}
 		}
-		w.m.campaigns.Set(int64(len(w.Campaigns)))
-		w.m.queriers.Set(int64(w.pool.size()))
+		w.m.campaigns.SetAt(int64(len(w.Campaigns)), end)
+		w.m.queriers.SetAt(int64(w.pool.size()), end)
 	}
 }
 

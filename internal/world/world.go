@@ -23,6 +23,7 @@ import (
 	"dnsbackscatter/internal/obs"
 	"dnsbackscatter/internal/rng"
 	"dnsbackscatter/internal/simtime"
+	"dnsbackscatter/internal/trace"
 )
 
 // Burst injects extra campaigns over a window — Heartbleed-style reactions
@@ -206,15 +207,20 @@ func (w *World) SetMetrics(reg *obs.Registry) {
 	w.m = m
 }
 
-func (m *worldMetrics) event() {
+// SetTracer installs the end-to-end lookup tracer on the DNS hierarchy;
+// every activity-driven reverse lookup then begins a trace annotated with
+// its campaign class and port. Nil removes it.
+func (w *World) SetTracer(t *trace.Tracer) { w.Hier.SetTracer(t) }
+
+func (m *worldMetrics) event(now simtime.Time) {
 	if m != nil {
-		m.events.Inc()
+		m.events.IncAt(now)
 	}
 }
 
-func (m *worldMetrics) birth(cls activity.Class) {
+func (m *worldMetrics) birth(cls activity.Class, now simtime.Time) {
 	if m != nil {
-		m.births[cls].Inc()
+		m.births[cls].IncAt(now)
 	}
 }
 

@@ -3,6 +3,7 @@ package backscatter
 import (
 	"dnsbackscatter/internal/obs"
 	"dnsbackscatter/internal/simtime"
+	"dnsbackscatter/internal/trace"
 )
 
 // Observability re-exports, so tools and library users reach the obs layer
@@ -33,3 +34,32 @@ func WallClock() obs.Clock { return simtime.Wall }
 // Metrics returns the registry this dataset records into, or nil when the
 // dataset was built without one (plain Build).
 func (d *Dataset) Metrics() *Registry { return d.obs }
+
+// Tracing re-exports, mirroring the obs aliases above. See BuildTraced
+// and DatasetSpec.Trace for attaching a tracer to a simulated dataset.
+type (
+	// Tracer records deterministic end-to-end lookup traces; every
+	// method on a nil Tracer is a no-op, so tracing costs one nil check
+	// when disabled.
+	Tracer = trace.Tracer
+	// TraceID is a 64-bit trace identifier, a pure hash of
+	// (seed, querier, qname, time).
+	TraceID = trace.ID
+	// Window buckets *At metric writes by simulated-time interval for
+	// windowed time-series snapshots (attach with Registry.SetWindow).
+	Window = obs.Window
+	// Timeseries is the parsed JSON document a Window snapshot encodes.
+	Timeseries = obs.Timeseries
+)
+
+// NewTracer returns a tracer keeping the deterministic 1/sample of
+// lookups (sample <= 1 traces everything); seed must match the world's.
+func NewTracer(seed, sample uint64) *Tracer { return trace.New(seed, sample) }
+
+// NewWindow returns a time-series window bucketing metric writes every
+// width of simulated time.
+func NewWindow(width Duration) *Window { return obs.NewWindow(width) }
+
+// Tracer returns the tracer this dataset's lookups recorded into, or nil
+// when the dataset was built without tracing.
+func (d *Dataset) Tracer() *trace.Tracer { return d.tracer }
