@@ -13,7 +13,7 @@ GO ?= go
 RACE_PKGS = ./internal/cache ./internal/dnsserver ./internal/obs ./internal/report \
 	./internal/parallel ./internal/features ./internal/ml ./internal/classify
 
-.PHONY: verify fmt vet lint build test race bench docs determinism chaos fuzz cover tracecheck trace-artifacts
+.PHONY: verify fmt vet lint build test race bench bench-check docs determinism chaos fuzz cover tracecheck trace-artifacts
 
 verify: fmt vet lint build test race fuzz tracecheck docs
 	@echo "verify: all checks passed"
@@ -44,11 +44,14 @@ race:
 # Per-package coverage with a floor: writes the merged profile to
 # coverage.out (the CI job publishes it as an artifact) and fails if any
 # tested package drops below the floor. Untested packages (cmd mains,
-# examples) are exempt — the build exercises them.
+# examples) are exempt — the build exercises them. internal/lint holds a
+# higher floor: the linters gate every other invariant, so their own
+# coverage must not rot.
 cover:
 	$(GO) test -coverprofile=coverage.out ./... > cover-packages.txt \
 		|| { cat cover-packages.txt; rm -f cover-packages.txt; exit 1; }
-	$(GO) run ./cmd/covercheck -floor 80 < cover-packages.txt
+	$(GO) run ./cmd/covercheck -floor 80 \
+		-pkgfloor dnsbackscatter/internal/lint=85 < cover-packages.txt
 	@rm -f cover-packages.txt
 
 # Short fuzz smoke on the wire codec: ten seconds per target. Crashers
@@ -100,3 +103,12 @@ trace-artifacts:
 # (the disabled path must stay within noise of the PR 4 baseline).
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . | $(GO) run ./cmd/bsbench -o BENCH_PR5.json
+
+# Benchmark regression gate: re-run the suite and diff it against the
+# checked-in trajectory. Allocation metrics (B/op, allocs/op) must stay
+# within 15% of BENCH_PR5; wall time gets a loose 100% gate because
+# shared CI runners are noisy. `make bench` regenerates the reference
+# after a deliberate perf change.
+bench-check:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . | \
+		$(GO) run ./cmd/bsbench -against BENCH_PR5.json

@@ -8,6 +8,17 @@
 // sorted JSON to the -o file:
 //
 //	go test -run '^$' -bench . -benchmem . | bsbench -o BENCH_PR2.json
+//
+// With -against it also diffs the current run against a previous
+// trajectory file and exits nonzero when any shared benchmark regressed
+// beyond tolerance:
+//
+//	go test -run '^$' -bench . -benchmem . | bsbench -against BENCH_PR5.json
+//
+// Allocation metrics (B/op, allocs/op) gate at -tolerance (default 15%):
+// they are near-deterministic, so a breach is a real regression. Wall
+// time gates at the looser -time-tolerance (default 100%), loose enough
+// that shared-runner noise does not fail CI but a genuine blow-up does.
 package main
 
 import (
@@ -15,6 +26,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"sort"
@@ -55,42 +67,140 @@ func parse(line string) (result, bool) {
 	return r, true
 }
 
+// regression is one metric that moved past its tolerance against the
+// reference trajectory.
+type regression struct {
+	name, metric   string
+	before, after  float64
+	ratio, allowed float64
+}
+
+func (r regression) String() string {
+	return fmt.Sprintf("%s %s regressed %.1f%% (%.0f -> %.0f, tolerance %.0f%%)",
+		r.name, r.metric, (r.ratio-1)*100, r.before, r.after, r.allowed*100)
+}
+
+// compare diffs current against a reference trajectory. Benchmarks
+// present on only one side are reported in skipped (renames and new
+// benchmarks are not regressions); shared ones contribute a regression
+// per metric that grew beyond its tolerance.
+func compare(reference, current []result, tolerance, timeTolerance float64) (regs []regression, skipped []string, shared int) {
+	ref := make(map[string]result, len(reference))
+	for _, r := range reference {
+		ref[r.Name] = r
+	}
+	seen := make(map[string]bool, len(current))
+	for _, cur := range current {
+		seen[cur.Name] = true
+		base, ok := ref[cur.Name]
+		if !ok {
+			skipped = append(skipped, cur.Name+" (not in reference)")
+			continue
+		}
+		shared++
+		check := func(metric string, before, after, allowed float64) {
+			if before <= 0 {
+				return
+			}
+			if ratio := after / before; ratio > 1+allowed {
+				regs = append(regs, regression{cur.Name, metric, before, after, ratio, allowed})
+			}
+		}
+		check("ns/op", base.NsPerOp, cur.NsPerOp, timeTolerance)
+		check("B/op", base.BytesPerOp, cur.BytesPerOp, tolerance)
+		check("allocs/op", float64(base.AllocsPerOp), float64(cur.AllocsPerOp), tolerance)
+	}
+	for _, r := range reference {
+		if !seen[r.Name] {
+			skipped = append(skipped, r.Name+" (not in current run)")
+		}
+	}
+	sort.Strings(skipped)
+	return regs, skipped, shared
+}
+
+func loadTrajectory(path string) ([]result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var results []result
+	if err := json.Unmarshal(data, &results); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return results, nil
+}
+
 func main() {
-	out := flag.String("o", "", "write parsed results as JSON to this file (stdout JSON when empty)")
-	workers := flag.Int("workers", 0, "stamp this pipeline worker count into every result (0 = omit)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bsbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("o", "", "write parsed results as JSON to this file (stdout JSON when empty)")
+	workers := fs.Int("workers", 0, "stamp this pipeline worker count into every result (0 = omit)")
+	against := fs.String("against", "", "reference trajectory JSON to diff the current run against; regressions beyond tolerance exit nonzero")
+	tolerance := fs.Float64("tolerance", 0.15, "allowed fractional growth in B/op and allocs/op before -against fails")
+	timeTolerance := fs.Float64("time-tolerance", 1.0, "allowed fractional growth in ns/op before -against fails (loose: wall time is noisy)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	var results []result
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(stdin)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
-		fmt.Println(line)
+		fmt.Fprintln(stdout, line)
 		if r, ok := parse(line); ok {
 			r.Workers = *workers
 			results = append(results, r)
 		}
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "bsbench: read:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "bsbench: read:", err)
+		return 1
 	}
 	// Sorted by name so the trajectory file is byte-stable run to run.
 	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
 
 	doc, err := json.MarshalIndent(results, "", "  ")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "bsbench: marshal:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "bsbench: marshal:", err)
+		return 1
 	}
 	doc = append(doc, '\n')
-	if *out == "" {
-		_, _ = os.Stdout.Write(doc)
-		return
+	if *out == "" && *against == "" {
+		_, _ = stdout.Write(doc)
 	}
-	if err := os.WriteFile(*out, doc, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "bsbench:", err)
-		os.Exit(1)
+	if *out != "" {
+		if err := os.WriteFile(*out, doc, 0o644); err != nil {
+			fmt.Fprintln(stderr, "bsbench:", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "bsbench: wrote %d results to %s\n", len(results), *out)
 	}
-	fmt.Fprintf(os.Stderr, "bsbench: wrote %d results to %s\n", len(results), *out)
+
+	if *against == "" {
+		return 0
+	}
+	reference, err := loadTrajectory(*against)
+	if err != nil {
+		fmt.Fprintln(stderr, "bsbench:", err)
+		return 2
+	}
+	regs, skipped, shared := compare(reference, results, *tolerance, *timeTolerance)
+	for _, s := range skipped {
+		fmt.Fprintln(stderr, "bsbench: skipped:", s)
+	}
+	if len(regs) > 0 {
+		for _, r := range regs {
+			fmt.Fprintln(stderr, "bsbench: REGRESSION:", r)
+		}
+		fmt.Fprintf(stderr, "bsbench: %d regression(s) against %s\n", len(regs), *against)
+		return 1
+	}
+	fmt.Fprintf(stderr, "bsbench: no regressions against %s (%d shared benchmarks)\n", *against, shared)
+	return 0
 }

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	r, ok := parse("BenchmarkExtract-8   \t 12\t 95123456 ns/op\t 35180928 B/op\t  196373 allocs/op")
+	if !ok {
+		t.Fatal("bench line did not parse")
+	}
+	if r.Name != "BenchmarkExtract" || r.Iterations != 12 || r.NsPerOp != 95123456 ||
+		r.BytesPerOp != 35180928 || r.AllocsPerOp != 196373 {
+		t.Fatalf("parsed %+v", r)
+	}
+	if _, ok := parse("ok  \tdnsbackscatter\t1.2s"); ok {
+		t.Fatal("non-bench line parsed")
+	}
+}
+
+func refResults() []result {
+	return []result{
+		{Name: "BenchmarkA", NsPerOp: 1000, BytesPerOp: 1000, AllocsPerOp: 100},
+		{Name: "BenchmarkGone", NsPerOp: 500, BytesPerOp: 500, AllocsPerOp: 50},
+	}
+}
+
+// TestCompare covers the gate's three behaviors: within-tolerance passes,
+// a >15% allocation growth is a regression, and benchmarks on only one
+// side are skipped, not failed.
+func TestCompare(t *testing.T) {
+	current := []result{
+		{Name: "BenchmarkA", NsPerOp: 1100, BytesPerOp: 1100, AllocsPerOp: 110}, // +10%: inside 15%
+		{Name: "BenchmarkNew", NsPerOp: 1, BytesPerOp: 1, AllocsPerOp: 1},
+	}
+	regs, skipped, shared := compare(refResults(), current, 0.15, 1.0)
+	if len(regs) != 0 {
+		t.Fatalf("within-tolerance run flagged: %v", regs)
+	}
+	if shared != 1 || len(skipped) != 2 {
+		t.Fatalf("shared=%d skipped=%v, want 1 shared and 2 skipped", shared, skipped)
+	}
+
+	current[0].BytesPerOp = 1200 // +20% B/op
+	current[0].NsPerOp = 2500    // +150% ns/op, past even the loose gate
+	regs, _, _ = compare(refResults(), current, 0.15, 1.0)
+	if len(regs) != 2 {
+		t.Fatalf("got %d regressions, want 2 (B/op and ns/op): %v", len(regs), regs)
+	}
+	msg := regs[0].String() + regs[1].String()
+	if !strings.Contains(msg, "B/op") || !strings.Contains(msg, "ns/op") {
+		t.Fatalf("regression report missing metrics: %s", msg)
+	}
+}
+
+func runBsbench(t *testing.T, stdin string, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, strings.NewReader(stdin), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+const benchOutput = `goos: linux
+BenchmarkA-8	100	1000 ns/op	1000 B/op	100 allocs/op
+PASS
+`
+
+// TestRunAgainst drives the CLI end to end: a clean diff exits 0, a
+// regressed run exits 1 and names the metric.
+func TestRunAgainst(t *testing.T) {
+	dir := t.TempDir()
+	refPath := filepath.Join(dir, "ref.json")
+	doc, err := json.Marshal(refResults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(refPath, doc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code, _, stderr := runBsbench(t, benchOutput, "-against", refPath)
+	if code != 0 {
+		t.Fatalf("exit %d on identical run; stderr=%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "no regressions") {
+		t.Errorf("stderr lacks the all-clear: %s", stderr)
+	}
+
+	regressed := strings.Replace(benchOutput, "1000 B/op", "2000 B/op", 1)
+	code, _, stderr = runBsbench(t, regressed, "-against", refPath)
+	if code != 1 {
+		t.Fatalf("exit %d on regressed run, want 1; stderr=%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "REGRESSION") || !strings.Contains(stderr, "B/op") {
+		t.Errorf("stderr lacks the regression report: %s", stderr)
+	}
+
+	code, _, stderr = runBsbench(t, benchOutput, "-against", filepath.Join(dir, "missing.json"))
+	if code != 2 {
+		t.Fatalf("exit %d on missing reference, want 2; stderr=%s", code, stderr)
+	}
+}
+
+// TestRunWritesTrajectory pins the -o flow the Makefile bench target uses.
+func TestRunWritesTrajectory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	code, stdout, _ := runBsbench(t, benchOutput, "-o", path)
+	if code != 0 {
+		t.Fatalf("exit %d writing trajectory", code)
+	}
+	if !strings.Contains(stdout, "BenchmarkA-8") {
+		t.Errorf("bench output not echoed: %q", stdout)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []result
+	if err := json.Unmarshal(data, &results); err != nil {
+		t.Fatalf("trajectory is not JSON: %v\n%s", err, data)
+	}
+	if len(results) != 1 || results[0].Name != "BenchmarkA" {
+		t.Fatalf("trajectory = %+v", results)
+	}
+}

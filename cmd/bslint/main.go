@@ -1,6 +1,8 @@
 // Command bslint runs the project's static-analysis suite: the
-// determinism, locksafe, errcheck, and apidoc checks defined in
-// internal/lint. It prints one finding per line as
+// per-package checks (determinism, locksafe, errcheck, apidoc,
+// concurrency, hotalloc, nolintreason) and the interprocedural module
+// checks (dettaint) defined in internal/lint. It prints one finding per
+// line as
 //
 //	file:line:col: [check] message
 //
@@ -14,14 +16,22 @@
 //	bslint ./...                    # whole module (the default)
 //	bslint -json ./internal/...     # machine-readable findings
 //	bslint -determinism=false ./... # disable one check
+//	bslint -fix ./...               # apply mechanical autofixes
+//	bslint -write-baseline ./...    # grandfather current findings
 //	bslint -list                    # show registered checks
+//
+// Any package that fails to parse or type-check is fatal: bslint reports
+// every broken package and exits 2 without linting, because findings in
+// code it could not load would otherwise pass silently.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 
 	"dnsbackscatter/internal/lint"
 )
@@ -30,14 +40,21 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr *os.File) int {
-	fs := flag.NewFlagSet("bslint", flag.ExitOnError)
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bslint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
 	list := fs.Bool("list", false, "list registered checks and exit")
 	dir := fs.String("C", ".", "directory inside the module to lint")
+	fix := fs.Bool("fix", false, "apply suggested fixes for mechanical findings and rewrite the files")
+	baselinePath := fs.String("baseline", "", "baseline file of grandfathered findings (default <module>/lint.baseline when present)")
+	writeBaseline := fs.Bool("write-baseline", false, "write current findings to the baseline file and exit")
 	enabled := map[string]*bool{}
 	for _, c := range lint.Checks() {
 		enabled[c.Name] = fs.Bool(c.Name, true, "enable the "+c.Name+" check: "+c.Doc)
+	}
+	for _, c := range lint.ModuleChecks() {
+		enabled[c.Name] = fs.Bool(c.Name, true, "enable the "+c.Name+" module check: "+c.Doc)
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -45,7 +62,10 @@ func run(args []string, stdout, stderr *os.File) int {
 
 	if *list {
 		for _, c := range lint.Checks() {
-			fmt.Fprintf(stdout, "%-12s %s\n", c.Name, c.Doc)
+			fmt.Fprintf(stdout, "%-14s %s\n", c.Name, c.Doc)
+		}
+		for _, c := range lint.ModuleChecks() {
+			fmt.Fprintf(stdout, "%-14s %s (interprocedural)\n", c.Name, c.Doc)
 		}
 		return 0
 	}
@@ -62,7 +82,10 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 	pkgs, err := mod.Packages(patterns...)
 	if err != nil {
-		fmt.Fprintln(stderr, "bslint:", err)
+		// Load errors are fatal, and all of them are reported: linting
+		// only the packages that happened to load would hide findings.
+		fmt.Fprintln(stderr, "bslint: load failed:")
+		fmt.Fprintln(stderr, err)
 		return 2
 	}
 
@@ -71,6 +94,51 @@ func run(args []string, stdout, stderr *os.File) int {
 		flags[name] = *on
 	}
 	findings := lint.Run(pkgs, flags)
+
+	bp := *baselinePath
+	if bp == "" {
+		bp = filepath.Join(mod.Dir, "lint.baseline")
+	}
+	if *writeBaseline {
+		if err := lint.WriteBaseline(bp, findings, mod.Dir); err != nil {
+			fmt.Fprintln(stderr, "bslint:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "bslint: wrote %d finding(s) to %s\n", len(findings), bp)
+		return 0
+	}
+	baseline, err := lint.LoadBaseline(bp)
+	if err != nil {
+		fmt.Fprintln(stderr, "bslint:", err)
+		return 2
+	}
+	findings, baselined := lint.FilterBaseline(findings, baseline, mod.Dir)
+	if len(baselined) > 0 {
+		fmt.Fprintf(stderr, "bslint: %d baselined finding(s) suppressed (burn them down, then -write-baseline)\n", len(baselined))
+	}
+
+	if *fix {
+		var fixable, remaining []lint.Finding
+		for _, f := range findings {
+			if f.Fix != nil {
+				fixable = append(fixable, f)
+			} else {
+				remaining = append(remaining, f)
+			}
+		}
+		files, err := lint.ApplyFixes(mod.Fset(), fixable)
+		if err != nil {
+			fmt.Fprintln(stderr, "bslint: fix:", err)
+			return 2
+		}
+		for _, f := range fixable {
+			fmt.Fprintf(stdout, "%s: fixed: %s\n", f.Pos, f.Fix.Message)
+		}
+		if len(files) > 0 {
+			fmt.Fprintf(stderr, "bslint: rewrote %d file(s)\n", len(files))
+		}
+		findings = remaining
+	}
 
 	if *jsonOut {
 		type jsonFinding struct {

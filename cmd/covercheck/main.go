@@ -5,16 +5,19 @@
 // Usage:
 //
 //	go test -coverprofile=coverage.out ./... | covercheck -floor 80
+//	go test -cover ./... | covercheck -floor 80 -pkgfloor path/to/pkg=85
 //
-// Packages without test files (no "ok" line) are listed as untested but
-// do not fail the check: command mains and examples are exercised by the
-// build, not by unit tests.
+// -pkgfloor raises (or lowers) the floor for one package; repeat the flag
+// for several. Packages without test files (no "ok" line) are listed as
+// untested but do not fail the check: command mains and examples are
+// exercised by the build, not by unit tests.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -48,42 +51,85 @@ func parseLine(line string) (c pkgCoverage, ok bool) {
 	return pkgCoverage{}, false
 }
 
+// floorMap is the repeatable -pkgfloor pkg=pct flag: per-package floors
+// overriding the global one.
+type floorMap map[string]float64
+
+func (m floorMap) String() string {
+	parts := make([]string, 0, len(m))
+	for pkg, pct := range m {
+		parts = append(parts, fmt.Sprintf("%s=%g", pkg, pct))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+func (m floorMap) Set(s string) error {
+	pkg, pctStr, ok := strings.Cut(s, "=")
+	if !ok || pkg == "" {
+		return fmt.Errorf("want pkg=pct, got %q", s)
+	}
+	pct, err := strconv.ParseFloat(pctStr, 64)
+	if err != nil {
+		return fmt.Errorf("bad percent in %q: %w", s, err)
+	}
+	m[pkg] = pct
+	return nil
+}
+
 func main() {
-	floor := flag.Float64("floor", 80, "minimum per-package coverage percent for tested packages")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("covercheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	floor := fs.Float64("floor", 80, "minimum per-package coverage percent for tested packages")
+	pkgFloors := floorMap{}
+	fs.Var(pkgFloors, "pkgfloor", "per-package floor as pkg=pct, overriding -floor; repeatable")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	var covered []pkgCoverage
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(stdin)
 	for sc.Scan() {
 		if c, ok := parseLine(sc.Text()); ok {
 			covered = append(covered, c)
 		}
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "covercheck:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "covercheck:", err)
+		return 1
 	}
 	if len(covered) == 0 {
-		fmt.Fprintln(os.Stderr, "covercheck: no coverage lines on stdin (pipe `go test -cover ./...` in)")
-		os.Exit(1)
+		fmt.Fprintln(stderr, "covercheck: no coverage lines on stdin (pipe `go test -cover ./...` in)")
+		return 1
 	}
 
 	sort.Slice(covered, func(i, j int) bool { return covered[i].pkg < covered[j].pkg })
+	floorFor := func(pkg string) float64 {
+		if pct, ok := pkgFloors[pkg]; ok {
+			return pct
+		}
+		return *floor
+	}
 	var failed []pkgCoverage
 	for _, c := range covered {
 		mark := "  "
-		if c.pct < *floor {
+		if c.pct < floorFor(c.pkg) {
 			mark = "!!"
 			failed = append(failed, c)
 		}
-		fmt.Printf("%s %6.1f%%  %s\n", mark, c.pct, c.pkg)
+		fmt.Fprintf(stdout, "%s %6.1f%%  %s\n", mark, c.pct, c.pkg)
 	}
 	if len(failed) > 0 {
-		fmt.Fprintf(os.Stderr, "covercheck: %d package(s) below the %.0f%% floor:\n", len(failed), *floor)
+		fmt.Fprintf(stderr, "covercheck: %d package(s) below their floor:\n", len(failed))
 		for _, c := range failed {
-			fmt.Fprintf(os.Stderr, "  %s at %.1f%%\n", c.pkg, c.pct)
+			fmt.Fprintf(stderr, "  %s at %.1f%% (floor %.0f%%)\n", c.pkg, c.pct, floorFor(c.pkg))
 		}
-		os.Exit(1)
+		return 1
 	}
-	fmt.Printf("covercheck: %d tested packages at or above %.0f%%\n", len(covered), *floor)
+	fmt.Fprintf(stdout, "covercheck: %d tested packages at or above their floors (default %.0f%%)\n", len(covered), *floor)
+	return 0
 }

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	c, ok := parseLine("ok  \tdnsbackscatter/internal/lint\t2.4s\tcoverage: 89.7% of statements")
+	if !ok || c.pkg != "dnsbackscatter/internal/lint" || c.pct != 89.7 {
+		t.Fatalf("parsed %+v ok=%v", c, ok)
+	}
+	for _, line := range []string{
+		"?   \tdnsbackscatter/cmd/bslint\t[no test files]",
+		"ok  \tdnsbackscatter/internal/qname\t0.01s",
+		"FAIL\tdnsbackscatter/internal/x\t0.1s",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("line %q parsed as coverage", line)
+		}
+	}
+}
+
+func TestFloorMap(t *testing.T) {
+	m := floorMap{}
+	if err := m.Set("dnsbackscatter/internal/lint=85"); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	if err := m.Set("other=70.5"); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	if m["dnsbackscatter/internal/lint"] != 85 || m["other"] != 70.5 {
+		t.Fatalf("map = %v", m)
+	}
+	if got, want := m.String(), "dnsbackscatter/internal/lint=85,other=70.5"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	for _, bad := range []string{"nofloor", "=80", "pkg=notanumber"} {
+		if err := m.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted", bad)
+		}
+	}
+}
+
+func runCovercheck(t *testing.T, stdin string, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, strings.NewReader(stdin), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+const coverInput = `?   	mod/cmd/tool	[no test files]
+ok  	mod/internal/a	0.1s	coverage: 90.0% of statements
+ok  	mod/internal/b	0.1s	coverage: 82.0% of statements
+`
+
+// TestRunFloors drives the CLI across the pass, global-floor-fail, and
+// per-package-floor-fail cases.
+func TestRunFloors(t *testing.T) {
+	code, stdout, _ := runCovercheck(t, coverInput, "-floor", "80")
+	if code != 0 {
+		t.Fatalf("exit %d with all packages above the floor; stdout=%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "2 tested packages") {
+		t.Errorf("summary missing: %s", stdout)
+	}
+
+	code, _, stderr := runCovercheck(t, coverInput, "-floor", "85")
+	if code != 1 || !strings.Contains(stderr, "mod/internal/b at 82.0% (floor 85%)") {
+		t.Fatalf("global floor breach not reported: exit %d stderr=%s", code, stderr)
+	}
+
+	// The per-package floor raises b's bar past its coverage while the
+	// global floor alone would pass it.
+	code, _, stderr = runCovercheck(t, coverInput, "-floor", "80", "-pkgfloor", "mod/internal/b=85")
+	if code != 1 || !strings.Contains(stderr, "mod/internal/b at 82.0% (floor 85%)") {
+		t.Fatalf("per-package floor breach not reported: exit %d stderr=%s", code, stderr)
+	}
+}
+
+// TestRunEmptyInput pins the guard against piping nothing in.
+func TestRunEmptyInput(t *testing.T) {
+	code, _, stderr := runCovercheck(t, "")
+	if code != 1 || !strings.Contains(stderr, "no coverage lines") {
+		t.Fatalf("empty stdin: exit %d stderr=%s", code, stderr)
+	}
+}

@@ -178,6 +178,8 @@ func NewDeduper(window simtime.Duration) *Deduper {
 
 // Keep reports whether r survives deduplication, updating state. Records
 // must be fed in non-decreasing time order for exact window semantics.
+//
+//bslint:hotpath
 func (d *Deduper) Keep(r Record) bool {
 	if d.Window <= 0 {
 		return true

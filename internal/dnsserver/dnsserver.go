@@ -425,7 +425,7 @@ func (s *Server) serveTCP() {
 		s.tcpConns[conn] = struct{}{}
 		s.mu.Unlock()
 		s.done.Add(1)
-		go s.serveTCPConn(conn)
+		go s.serveTCPConn(conn) //nolint:concurrency — goroutine per accepted connection, tracked in done/tcpConns and reaped on Close
 	}
 }
 

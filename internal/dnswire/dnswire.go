@@ -183,6 +183,8 @@ type encoder struct {
 // Encode appends the wire form of m to dst and returns the extended slice.
 // Section counts in the header are taken from the slice lengths, not the
 // Header fields, so callers cannot desynchronize them.
+//
+//bslint:hotpath
 func (m *Message) Encode(dst []byte) ([]byte, error) {
 	e := encoder{buf: dst, offsets: make(map[string]int, 8)}
 	h := m.Header
@@ -225,6 +227,8 @@ func (e *encoder) u32(v uint32) {
 }
 
 // name encodes a domain name with compression against earlier occurrences.
+//
+//bslint:hotpath
 func (e *encoder) name(name string) error {
 	name = strings.TrimSuffix(name, ".")
 	if name == "" {
@@ -268,6 +272,7 @@ func (e *encoder) name(name string) error {
 	return nil
 }
 
+//bslint:hotpath
 func (e *encoder) rr(rr *RR) error {
 	if err := e.name(rr.Name); err != nil {
 		return err

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 
 	"dnsbackscatter/internal/dnslog"
 	"dnsbackscatter/internal/geo"
@@ -171,6 +172,8 @@ type shardAgg struct {
 // by originator and extract fans out per originator, all across Workers
 // goroutines with index-ordered merges, so the returned vectors are
 // byte-identical for every worker count.
+//
+//bslint:hotpath
 func (x *Extractor) Extract(recs []dnslog.Record, start simtime.Time, dur simtime.Duration) []*Vector {
 	pool := parallel.Pool{Workers: x.Workers, Obs: x.Obs}
 
@@ -185,6 +188,7 @@ func (x *Extractor) Extract(recs []dnslog.Record, start simtime.Time, dur simtim
 	}
 	pool.Stage = "dedup"
 	shards := parallel.Map(pool, extractShards, func(s int) *shardAgg {
+		//nolint:hotalloc — one allocation per shard (16 per interval), not per record
 		sh := &shardAgg{aggs: make(map[ipaddr.Addr]*originatorAgg)}
 		dedup := dnslog.NewDeduper(x.DedupWindow)
 		for _, r := range parts[s] {
@@ -206,6 +210,7 @@ func (x *Extractor) Extract(recs []dnslog.Record, start simtime.Time, dur simtim
 			sh.kept++
 			a := sh.aggs[r.Originator]
 			if a == nil {
+				//nolint:hotalloc — one allocation per distinct originator, amortized over its records
 				a = &originatorAgg{
 					queriers: make(map[ipaddr.Addr]struct{}),
 					buckets:  make(map[int]struct{}),
@@ -257,10 +262,10 @@ func (x *Extractor) Extract(recs []dnslog.Record, start simtime.Time, dur simtim
 		}
 		for orig, a := range sh.aggs {
 			if len(a.queriers) < x.MinQueriers {
-				x.emitRefs(a, "filter", "dropped", fmt.Sprintf("queriers=%d", len(a.queriers)), start)
+				x.emitRefs(a, "filter", "dropped", len(a.queriers), start)
 				delete(sh.aggs, orig)
 			} else {
-				x.emitRefs(a, "filter", "kept", fmt.Sprintf("queriers=%d", len(a.queriers)), start)
+				x.emitRefs(a, "filter", "kept", len(a.queriers), start)
 			}
 		}
 	})
@@ -306,7 +311,7 @@ func (x *Extractor) Extract(recs []dnslog.Record, start simtime.Time, dur simtim
 	out := parallel.Map(pool, len(work), func(i int) *Vector {
 		w := work[i]
 		v := x.vector(w.orig, w.agg, len(allAS), len(allCountry), len(allQueriers), totalBuckets)
-		x.emitRefs(w.agg, "extract", "vector", fmt.Sprintf("queriers=%d", v.Queriers), start)
+		x.emitRefs(w.agg, "extract", "vector", v.Queriers, start)
 		return v
 	})
 	// Deterministic order: by footprint descending, address ascending.
@@ -321,12 +326,15 @@ func (x *Extractor) Extract(recs []dnslog.Record, start simtime.Time, dur simtim
 }
 
 // emitRefs annotates every trace that fed one originator's aggregate
-// with a pipeline stage decision. Iteration order over refs is
-// irrelevant: the tracer renders pipeline events as a sorted multiset.
-func (x *Extractor) emitRefs(a *originatorAgg, stage, outcome, detail string, at simtime.Time) {
+// with a pipeline stage decision. The querier count is formatted here,
+// after the Tracer nil check, so untraced runs never pay for building
+// the detail string. Iteration order over refs is irrelevant: the
+// tracer renders pipeline events as a sorted multiset.
+func (x *Extractor) emitRefs(a *originatorAgg, stage, outcome string, queriers int, at simtime.Time) {
 	if x.Tracer == nil {
 		return
 	}
+	detail := "queriers=" + strconv.Itoa(queriers)
 	for id, t0 := range a.refs {
 		x.Tracer.Pipeline(id, t0, stage, outcome, detail, at)
 	}

@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Baseline is the set of grandfathered finding fingerprints. New code is
+// held to zero findings while pre-existing ones burn down incrementally:
+// bslint skips findings whose fingerprint is in the baseline, and
+// -write-baseline regenerates the file after each burn-down slice.
+type Baseline map[string]bool
+
+// Fingerprint identifies a finding stably across unrelated edits: check
+// name, module-relative path, and message — but not line numbers, which
+// shift every time the file above the finding changes.
+func Fingerprint(f Finding, root string) string {
+	file := f.Pos.Filename
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	return f.Check + "\t" + file + "\t" + f.Message
+}
+
+// LoadBaseline reads a baseline file. A missing file is an empty
+// baseline, so a repo without one is simply held to zero findings.
+func LoadBaseline(path string) (Baseline, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return Baseline{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close() //nolint:errcheck — read-only descriptor, close cannot lose data
+	b := Baseline{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		b[line] = true
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// FilterBaseline splits findings into the ones to report and the ones the
+// baseline grandfathers.
+func FilterBaseline(findings []Finding, b Baseline, root string) (kept, baselined []Finding) {
+	for _, f := range findings {
+		if b[Fingerprint(f, root)] {
+			baselined = append(baselined, f)
+		} else {
+			kept = append(kept, f)
+		}
+	}
+	return kept, baselined
+}
+
+// WriteBaseline writes the findings' fingerprints to path, sorted, with a
+// header documenting the burn-down workflow.
+func WriteBaseline(path string, findings []Finding, root string) error {
+	lines := make([]string, 0, len(findings))
+	seen := map[string]bool{}
+	for _, f := range findings {
+		fp := Fingerprint(f, root)
+		if !seen[fp] {
+			seen[fp] = true
+			lines = append(lines, fp)
+		}
+	}
+	sort.Strings(lines)
+	var sb strings.Builder
+	sb.WriteString("# bslint baseline: grandfathered findings, one fingerprint per line\n")
+	sb.WriteString("# (check<TAB>file<TAB>message). Regenerate with `bslint -write-baseline`\n")
+	sb.WriteString("# after burning a slice down; new code is held to zero findings.\n")
+	for _, l := range lines {
+		sb.WriteString(l)
+		sb.WriteString("\n")
+	}
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		return fmt.Errorf("lint: writing baseline: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func baselineFinding(file string, line int, check, msg string) Finding {
+	return Finding{
+		Pos:     token.Position{Filename: file, Line: line, Column: 1},
+		Check:   check,
+		Message: msg,
+	}
+}
+
+// TestFingerprint pins the fingerprint shape: check, module-relative
+// slash path, and message — line numbers deliberately excluded so edits
+// above a grandfathered finding don't invalidate the baseline.
+func TestFingerprint(t *testing.T) {
+	root := filepath.FromSlash("/repo")
+	f := baselineFinding(filepath.Join(root, "internal", "x", "x.go"), 42, "determinism", "boom")
+	if got, want := Fingerprint(f, root), "determinism\tinternal/x/x.go\tboom"; got != want {
+		t.Errorf("Fingerprint = %q, want %q", got, want)
+	}
+	// A file outside the module root keeps its absolute path.
+	out := baselineFinding(filepath.FromSlash("/elsewhere/y.go"), 1, "c", "m")
+	if got := Fingerprint(out, root); !strings.Contains(got, "/elsewhere/y.go") {
+		t.Errorf("out-of-root fingerprint %q lost the absolute path", got)
+	}
+	// Line changes do not change the fingerprint.
+	g := f
+	g.Pos.Line = 99
+	if Fingerprint(f, root) != Fingerprint(g, root) {
+		t.Errorf("fingerprint depends on line number")
+	}
+}
+
+// TestBaselineRoundTrip writes findings to a baseline, reloads it, and
+// asserts FilterBaseline splits exactly along the grandfathered set.
+func TestBaselineRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	path := filepath.Join(root, "lint.baseline")
+	old := baselineFinding(filepath.Join(root, "a.go"), 3, "hotalloc", "old finding")
+	if err := WriteBaseline(path, []Finding{old, old}, root); err != nil {
+		t.Fatalf("WriteBaseline: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if got := strings.Count(string(data), "old finding"); got != 1 {
+		t.Errorf("duplicate fingerprints written %d times, want 1:\n%s", got, data)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatalf("LoadBaseline: %v", err)
+	}
+	fresh := baselineFinding(filepath.Join(root, "a.go"), 9, "hotalloc", "new finding")
+	kept, baselined := FilterBaseline([]Finding{old, fresh}, b, root)
+	if len(baselined) != 1 || baselined[0].Message != "old finding" {
+		t.Errorf("baselined = %v, want the old finding", baselined)
+	}
+	if len(kept) != 1 || kept[0].Message != "new finding" {
+		t.Errorf("kept = %v, want the new finding", kept)
+	}
+}
+
+// TestLoadBaselineMissing asserts a repo without a baseline file is held
+// to zero findings rather than erroring.
+func TestLoadBaselineMissing(t *testing.T) {
+	b, err := LoadBaseline(filepath.Join(t.TempDir(), "nope"))
+	if err != nil {
+		t.Fatalf("LoadBaseline on missing file: %v", err)
+	}
+	if len(b) != 0 {
+		t.Fatalf("missing baseline not empty: %v", b)
+	}
+}

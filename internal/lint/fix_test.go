@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTempModule materializes a throwaway module on disk — fixes rewrite
+// real files, so fixture packages under testdata (which must stay stable
+// for the analyzer tests) cannot be the target.
+func writeTempModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module fixme\n\ngo 1.22\n"
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatalf("MkdirAll: %v", err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatalf("WriteFile %s: %v", name, err)
+		}
+	}
+	return dir
+}
+
+// lintTemp loads the temp module fresh (no memoized state) and runs the
+// named checks.
+func lintTemp(t *testing.T, dir string, enabled map[string]bool) (*Module, []Finding) {
+	t.Helper()
+	mod, err := LoadModule(dir)
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	pkgs, err := mod.Packages("./...")
+	if err != nil {
+		t.Fatalf("Packages: %v", err)
+	}
+	return mod, Run(pkgs, enabled)
+}
+
+// TestApplyFixes drives the full autofix loop over the three mechanical
+// fix classes — map-range sort insertion, hotpath preallocation, and
+// nolint normalization — and asserts a re-lint of the rewritten sources
+// comes back clean.
+func TestApplyFixes(t *testing.T) {
+	dir := writeTempModule(t, map[string]string{
+		"maporder.go": `package fixme
+
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`,
+		"prealloc.go": `package fixme
+
+//bslint:hotpath
+func double(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x*2)
+	}
+	return out
+}
+`,
+		"normalize.go": `package fixme
+
+import "errors"
+
+func boom() {
+	_ = errors.New("x") // nolint:errcheck--kept for the fixture
+}
+`,
+	})
+	enabled := only("determinism")
+	enabled["hotalloc"] = true
+	enabled["nolintreason"] = true
+
+	mod, findings := lintTemp(t, dir, enabled)
+	if len(findings) != 3 {
+		t.Fatalf("got %d findings before fixing, want 3:\n%v", len(findings), findings)
+	}
+	for _, f := range findings {
+		if f.Fix == nil {
+			t.Fatalf("finding has no fix: %s", f)
+		}
+	}
+	files, err := ApplyFixes(mod.Fset(), findings)
+	if err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	if len(files) != 3 {
+		t.Fatalf("rewrote %d files, want 3: %v", len(files), files)
+	}
+
+	fixed, err := os.ReadFile(filepath.Join(dir, "maporder.go"))
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	for _, want := range []string{`"sort"`, "sort.Strings(out)"} {
+		if !strings.Contains(string(fixed), want) {
+			t.Errorf("fixed maporder.go lacks %q:\n%s", want, fixed)
+		}
+	}
+	fixed, err = os.ReadFile(filepath.Join(dir, "prealloc.go"))
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if !strings.Contains(string(fixed), "out := make([]int, 0, len(xs))") {
+		t.Errorf("fixed prealloc.go lacks the make rewrite:\n%s", fixed)
+	}
+	fixed, err = os.ReadFile(filepath.Join(dir, "normalize.go"))
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if !strings.Contains(string(fixed), "//nolint:errcheck — kept for the fixture") {
+		t.Errorf("fixed normalize.go lacks the canonical comment:\n%s", fixed)
+	}
+
+	// The rewritten module must re-lint clean: fixes resolve their own
+	// findings instead of shuffling them around.
+	if _, after := lintTemp(t, dir, enabled); len(after) != 0 {
+		t.Fatalf("findings survive their own fixes:\n%v", after)
+	}
+}
+
+// TestApplyFixesDedup asserts two findings prescribing the identical edit
+// produce it once instead of corrupting the file.
+func TestApplyFixesDedup(t *testing.T) {
+	dir := writeTempModule(t, map[string]string{
+		"dup.go": "package fixme\n\nvar x = 1\n",
+	})
+	mod, err := LoadModule(dir)
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	pkgs, err := mod.Packages("./...")
+	if err != nil {
+		t.Fatalf("Packages: %v", err)
+	}
+	file := pkgs[0].Files[0]
+	edit := TextEdit{Pos: file.End(), End: file.End(), NewText: "\nvar y = 2\n"}
+	f := Finding{
+		Pos: pkgs[0].Fset.Position(file.End()),
+		Fix: &Fix{Message: "append y", Edits: []TextEdit{edit}},
+	}
+	if _, err := ApplyFixes(mod.Fset(), []Finding{f, f}); err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	out, err := os.ReadFile(filepath.Join(dir, "dup.go"))
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if got := strings.Count(string(out), "var y = 2"); got != 1 {
+		t.Fatalf("duplicate edit applied %d times, want 1:\n%s", got, out)
+	}
+}

@@ -19,7 +19,6 @@ import (
 	"go/token"
 	"regexp"
 	"sort"
-	"strings"
 )
 
 // Finding is one rule violation at a source position.
@@ -27,6 +26,9 @@ type Finding struct {
 	Pos     token.Position
 	Check   string
 	Message string
+	// Fix, when non-nil, is a mechanical rewrite that resolves the
+	// finding; cmd/bslint -fix applies it.
+	Fix *Fix
 }
 
 // String formats a finding as "file:line:col: [check] message", the
@@ -46,8 +48,24 @@ type Check struct {
 	Run func(pkg *Package) []Finding
 }
 
-// registry holds the built-in checks in registration order.
-var registry []Check
+// ModuleCheck is one interprocedural analyzer. Unlike Check it sees every
+// loaded package at once plus the call graph built over them, so it can
+// reason about reachability and cross-function contracts.
+type ModuleCheck struct {
+	// Name identifies the check in output, flags, and nolint comments.
+	Name string
+	// Doc is a one-line description shown by bslint -list.
+	Doc string
+	// Run reports every violation across the loaded packages.
+	Run func(g *Graph, pkgs []*Package) []Finding
+}
+
+// registry holds the built-in per-package checks in registration order;
+// moduleRegistry holds the interprocedural ones.
+var (
+	registry       []Check
+	moduleRegistry []ModuleCheck
+)
 
 // Register adds a check to the suite. Built-in checks register from their
 // init functions; tests may register extra ones.
@@ -55,26 +73,80 @@ func Register(c Check) {
 	registry = append(registry, c)
 }
 
-// Checks returns the registered checks in registration order.
+// RegisterModule adds an interprocedural check to the suite.
+func RegisterModule(c ModuleCheck) {
+	moduleRegistry = append(moduleRegistry, c)
+}
+
+// Checks returns the registered per-package checks in registration order.
 func Checks() []Check {
 	out := make([]Check, len(registry))
 	copy(out, registry)
 	return out
 }
 
-// Run applies the enabled checks to each package and returns the surviving
-// findings sorted by position. enabled maps check name -> on/off; a name
-// absent from the map defaults to on. nolint suppressions are applied
-// before returning.
+// ModuleChecks returns the registered interprocedural checks in
+// registration order.
+func ModuleChecks() []ModuleCheck {
+	out := make([]ModuleCheck, len(moduleRegistry))
+	copy(out, moduleRegistry)
+	return out
+}
+
+// CheckNames returns every registered check name — per-package and
+// module-level — in registration order, for flag and baseline plumbing.
+func CheckNames() []string {
+	var names []string
+	for _, c := range registry {
+		names = append(names, c.Name)
+	}
+	for _, c := range moduleRegistry {
+		names = append(names, c.Name)
+	}
+	return names
+}
+
+// Run applies the enabled checks — per-package analyzers first, then the
+// interprocedural suite over a call graph of all packages — and returns
+// the surviving findings sorted by position. enabled maps check name ->
+// on/off; a name absent from the map defaults to on. nolint suppressions
+// are applied before returning.
 func Run(pkgs []*Package, enabled map[string]bool) []Finding {
+	on := func(name string) bool {
+		v, ok := enabled[name]
+		return !ok || v
+	}
+	sup := suppressionSet{}
+	for _, pkg := range pkgs {
+		sup.merge(suppressions(pkg))
+	}
 	var all []Finding
 	for _, pkg := range pkgs {
-		sup := suppressions(pkg)
 		for _, c := range registry {
-			if on, ok := enabled[c.Name]; ok && !on {
+			if !on(c.Name) {
 				continue
 			}
 			for _, f := range c.Run(pkg) {
+				f.Check = c.Name
+				if !sup.suppressed(f) {
+					all = append(all, f)
+				}
+			}
+		}
+	}
+	anyModule := false
+	for _, c := range moduleRegistry {
+		if on(c.Name) {
+			anyModule = true
+		}
+	}
+	if anyModule {
+		g := BuildGraph(pkgs)
+		for _, c := range moduleRegistry {
+			if !on(c.Name) {
+				continue
+			}
+			for _, f := range c.Run(g, pkgs) {
 				f.Check = c.Name
 				if !sup.suppressed(f) {
 					all = append(all, f)
@@ -96,7 +168,9 @@ func Run(pkgs []*Package, enabled map[string]bool) []Finding {
 }
 
 // nolintRe matches `//nolint` and `//nolint:det,locksafe` comment forms.
-var nolintRe = regexp.MustCompile(`^//\s*nolint(?::([\w,\- ]+))?`)
+// The \b keeps prose that merely mentions nolint (or identifiers like
+// nolintRe) from registering as a suppression.
+var nolintRe = regexp.MustCompile(`^//\s*nolint\b(?::\s*([\w,\- ]+))?`)
 
 // suppressionSet records, per file and line, which checks are muted.
 type suppressionSet map[string]map[int]map[string]bool
@@ -124,16 +198,19 @@ func suppressions(pkg *Package) suppressionSet {
 	for _, f := range pkg.Files {
 		for _, group := range f.Comments {
 			for _, c := range group.List {
-				m := nolintRe.FindStringSubmatch(c.Text)
-				if m == nil {
+				if !nolintRe.MatchString(c.Text) {
 					continue
 				}
+				// parseNolint splits off the '— reason' / '-- reason'
+				// suffix, so a reasoned comment suppresses exactly the
+				// checks it names.
+				n := parseNolint(c)
 				checks := map[string]bool{}
-				if m[1] == "" {
+				if len(n.checks) == 0 {
 					checks["*"] = true
 				} else {
-					for _, name := range strings.Split(m[1], ",") {
-						checks[strings.TrimSpace(name)] = true
+					for _, name := range n.checks {
+						checks[name] = true
 					}
 				}
 				pos := pkg.Fset.Position(c.Pos())
@@ -146,7 +223,32 @@ func suppressions(pkg *Package) suppressionSet {
 
 func (s suppressionSet) suppressed(f Finding) bool {
 	checks := s[f.Pos.Filename][f.Pos.Line]
+	if f.Check == "nolintreason" {
+		// The suppression audit is only explicitly suppressible: a bare
+		// or blanket nolint comment must not absolve itself.
+		return checks["nolintreason"]
+	}
 	return checks["*"] || checks[f.Check]
+}
+
+// merge folds other's suppressions into s; filenames are absolute and
+// unique across packages, so a plain union is safe.
+func (s suppressionSet) merge(other suppressionSet) {
+	for file, byLine := range other {
+		if s[file] == nil {
+			s[file] = byLine
+			continue
+		}
+		for line, checks := range byLine {
+			if s[file][line] == nil {
+				s[file][line] = checks
+				continue
+			}
+			for k := range checks {
+				s[file][line][k] = true
+			}
+		}
+	}
 }
 
 // exprString renders a (small) expression for use in messages.
@@ -158,6 +260,12 @@ func exprString(fset *token.FileSet, e ast.Expr) string {
 		return exprString(fset, e.X) + "." + e.Sel.Name
 	case *ast.CallExpr:
 		return exprString(fset, e.Fun) + "(...)"
+	case *ast.ArrayType:
+		return "[]" + exprString(fset, e.Elt)
+	case *ast.StarExpr:
+		return "*" + exprString(fset, e.X)
+	case *ast.ParenExpr:
+		return exprString(fset, e.X)
 	default:
 		return "expression"
 	}

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -43,8 +44,13 @@ type Module struct {
 	std    types.Importer      // stdlib / out-of-module importer
 	source types.Importer      // fallback when export data is unavailable
 	loaded map[string]*Package // memoized by import path
+	failed map[string]error    // memoized load failures by import path
 	active map[string]bool     // import-cycle guard
 }
+
+// Fset returns the module's file set, which maps every loaded package's
+// positions; ApplyFixes needs it to turn fix positions into byte offsets.
+func (m *Module) Fset() *token.FileSet { return m.fset }
 
 // LoadModule finds the module containing dir by walking up to the nearest
 // go.mod and returns a loader for it.
@@ -87,6 +93,7 @@ func LoadModule(dir string) (*Module, error) {
 		std:    importer.ForCompiler(fset, "gc", nil),
 		source: importer.ForCompiler(fset, "source", nil),
 		loaded: map[string]*Package{},
+		failed: map[string]error{},
 		active: map[string]bool{},
 	}, nil
 }
@@ -137,23 +144,30 @@ func (m *Module) Packages(patterns ...string) ([]*Package, error) {
 	}
 	sort.Strings(sorted)
 
+	// Load every matched package, collecting failures instead of
+	// stopping at the first: a partially-broken module reports every
+	// broken package, and the caller decides that any load error is
+	// fatal (cmd/bslint always does — linting a subset silently would
+	// let findings in the unloadable packages go unseen).
 	var pkgs []*Package
+	var loadErrs []error
 	for _, dir := range sorted {
 		if !hasGoFiles(dir) {
 			continue
 		}
 		pkg, err := m.loadDir(dir)
 		if err != nil {
-			return nil, err
+			loadErrs = append(loadErrs, err)
+			continue
 		}
 		if pkg != nil {
 			pkgs = append(pkgs, pkg)
 		}
 	}
-	if len(pkgs) == 0 {
+	if len(pkgs) == 0 && len(loadErrs) == 0 {
 		return nil, fmt.Errorf("lint: no Go packages matched %s", strings.Join(patterns, " "))
 	}
-	return pkgs, nil
+	return pkgs, errors.Join(loadErrs...)
 }
 
 func hasGoFiles(dir string) bool {
@@ -192,6 +206,9 @@ func (m *Module) loadDir(dir string) (*Package, error) {
 	if pkg, ok := m.loaded[path]; ok {
 		return pkg, nil
 	}
+	if err, ok := m.failed[path]; ok {
+		return nil, err
+	}
 	if m.active[path] {
 		return nil, fmt.Errorf("lint: import cycle through %s", path)
 	}
@@ -210,7 +227,9 @@ func (m *Module) loadDir(dir string) (*Package, error) {
 		}
 		f, err := parser.ParseFile(m.fset, filepath.Join(dir, name), nil, parser.ParseComments)
 		if err != nil {
-			return nil, fmt.Errorf("lint: %w", err)
+			err = fmt.Errorf("lint: %w", err)
+			m.failed[path] = err
+			return nil, err
 		}
 		files = append(files, f)
 	}
@@ -227,7 +246,9 @@ func (m *Module) loadDir(dir string) (*Package, error) {
 	conf := types.Config{Importer: (*moduleImporter)(m)}
 	tpkg, err := conf.Check(path, m.fset, files, info)
 	if err != nil {
-		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+		err = fmt.Errorf("lint: type-checking %s: %w", path, err)
+		m.failed[path] = err
+		return nil, err
 	}
 	pkg := &Package{Path: path, Dir: dir, Fset: m.fset, Files: files, Types: tpkg, Info: info}
 	m.loaded[path] = pkg

@@ -1,0 +1,66 @@
+// Package dettaint is a bslint fixture for the interprocedural
+// determinism-taint check: nondeterminism sinks transitively reachable
+// from Build* pipeline roots (or //bslint:detroot functions) are flagged
+// with their call chain; the sanctioned simtime/rng bridges cut the walk.
+package dettaint
+
+import (
+	"time"
+
+	"dnsbackscatter/internal/simtime"
+)
+
+// BuildDataset is a pipeline root by naming convention; the clock read
+// two helpers down is its problem.
+func BuildDataset() int64 {
+	return helper()
+}
+
+func helper() int64 {
+	return deep()
+}
+
+func deep() int64 {
+	return time.Now().Unix() // want "wall-clock read time.Now is reachable from pipeline root dettaint.BuildDataset"
+}
+
+// BuildClean reaches the clock only through the sanctioned simtime
+// bridge, which is a taint cut point: no finding.
+func BuildClean() simtime.Time {
+	return simtime.Wall()
+}
+
+// runAll opts in as a root by directive despite its name.
+//
+//bslint:detroot
+func runAll() {
+	sleepy()
+}
+
+func sleepy() {
+	time.Sleep(time.Second) // want "wall-clock wait time.Sleep is reachable from pipeline root dettaint.runAll"
+}
+
+// BuildKeys leaks map iteration order into its output via a helper.
+func BuildKeys(m map[string]int) []string {
+	return mapKeys(m)
+}
+
+func mapKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "unsorted map-range emission into keys is reachable from pipeline root dettaint.BuildKeys"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// unrooted hits the clock but no root reaches it; the per-function
+// determinism check owns that case, not the taint walk.
+func unrooted() int64 {
+	return time.Now().Unix()
+}
+
+// BuildWaved shows module-check findings honor line suppressions.
+func BuildWaved() int64 {
+	return time.Now().Unix() //nolint:dettaint — fixture: demonstrates suppression of a module check
+}

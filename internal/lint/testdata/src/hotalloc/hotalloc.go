@@ -1,0 +1,66 @@
+// Package hotalloc is a bslint fixture: allocation patterns the hotalloc
+// check must flag inside //bslint:hotpath functions, plus the
+// preallocated, cold-path, and unannotated shapes it must leave alone.
+package hotalloc
+
+import "fmt"
+
+type point struct{ x, y int }
+
+//bslint:hotpath
+func escaping() *point {
+	return &point{1, 2} // want "heap-escaping &point{...} in hotpath"
+}
+
+//bslint:hotpath
+func growing(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x*2) // want "append to out in a loop without preallocation"
+	}
+	return out
+}
+
+//bslint:hotpath
+func preallocated(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x*2)
+	}
+	return out
+}
+
+//bslint:hotpath
+func formatting(n int) string {
+	return fmt.Sprintf("n=%d", n) // want "fmt.Sprintf allocates on the hotpath"
+}
+
+//bslint:hotpath
+func coldError(n int) error {
+	if n < 0 {
+		return fmt.Errorf("negative: %d", n) // Errorf is cold-path error construction: allowed
+	}
+	return nil
+}
+
+//bslint:hotpath
+func roundTrip(b []byte) []byte {
+	s := string(b)   // want "copies its operand on the hotpath"
+	return []byte(s) // want "copies its operand on the hotpath"
+}
+
+//bslint:hotpath
+func waved() *point {
+	return &point{5, 6} //nolint:hotalloc — fixture: the caller pools these
+}
+
+// unannotated does everything the hotpath rules forbid, legally: only
+// //bslint:hotpath functions opt in to the allocation discipline.
+func unannotated(xs []int) string {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	p := &point{3, 4}
+	return fmt.Sprint(p, out)
+}
