@@ -13,9 +13,9 @@ GO ?= go
 RACE_PKGS = ./internal/cache ./internal/dnsserver ./internal/obs ./internal/report \
 	./internal/parallel ./internal/features ./internal/ml ./internal/classify
 
-.PHONY: verify fmt vet lint build test race bench bench-check docs determinism chaos fuzz cover tracecheck trace-artifacts
+.PHONY: verify fmt vet lint build test race bench bench-check budget prof-artifacts docs determinism chaos fuzz cover tracecheck trace-artifacts
 
-verify: fmt vet lint build test race fuzz tracecheck docs
+verify: fmt vet lint build test race fuzz tracecheck budget docs
 	@echo "verify: all checks passed"
 
 fmt:
@@ -46,12 +46,16 @@ race:
 # tested package drops below the floor. Untested packages (cmd mains,
 # examples) are exempt — the build exercises them. internal/lint holds a
 # higher floor: the linters gate every other invariant, so their own
-# coverage must not rot.
+# coverage must not rot. cmd/bsserve holds a lower one: its handler
+# mux is fully tested, but main() is an operational UDP/signal loop no
+# unit test can drive.
 cover:
 	$(GO) test -coverprofile=coverage.out ./... > cover-packages.txt \
 		|| { cat cover-packages.txt; rm -f cover-packages.txt; exit 1; }
 	$(GO) run ./cmd/covercheck -floor 80 \
-		-pkgfloor dnsbackscatter/internal/lint=85 < cover-packages.txt
+		-pkgfloor dnsbackscatter/internal/lint=85 \
+		-pkgfloor dnsbackscatter/internal/prof=85 \
+		-pkgfloor dnsbackscatter/cmd/bsserve=35 < cover-packages.txt
 	@rm -f cover-packages.txt
 
 # Short fuzz smoke on the wire codec: ten seconds per target. Crashers
@@ -109,6 +113,34 @@ bench:
 # within 15% of BENCH_PR5; wall time gets a loose 100% gate because
 # shared CI runners are noisy. `make bench` regenerates the reference
 # after a deliberate perf change.
+# Benchmark regression gate: re-run the suite once, then apply both
+# gates to the same output — the trajectory diff (bsbench -against,
+# 15% alloc / 100% time tolerance) and the absolute allocation budgets
+# (bsprof -check against alloc.budgets). The run is saved to a temp
+# file so one bench pass feeds both gates.
 bench-check:
-	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . | \
-		$(GO) run ./cmd/bsbench -against BENCH_PR5.json
+	@tmp=$$(mktemp); \
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . > $$tmp || { cat $$tmp; rm -f $$tmp; exit 1; }; \
+	$(GO) run ./cmd/bsbench -against BENCH_PR5.json < $$tmp || { rm -f $$tmp; exit 1; }; \
+	$(GO) run ./cmd/bsprof -check -budgets alloc.budgets -bench $$tmp || { rm -f $$tmp; exit 1; }; \
+	rm -f $$tmp
+
+# Fast allocation-budget gate, part of verify: the BenchmarkParallel*
+# suite (seconds, and it covers the pipeline's hot fan-out paths) plus
+# BenchmarkProfOverhead, whose off case pins the zero-cost-when-disabled
+# accounting contract. Budgets for the rest of the suite are enforced by
+# bench-check / CI; budgeted benchmarks outside the subset are logged as
+# skipped.
+budget:
+	$(GO) test -run '^$$' -bench 'BenchmarkParallel|BenchmarkProfOverhead' -benchmem -benchtime 1x . | \
+		$(GO) run ./cmd/bsprof -check -budgets alloc.budgets
+
+# Resource-observatory artifacts for CI: a scaled reproduction run's
+# per-stage resource report (ops channel, scheduling-dependent) plus
+# heap and CPU profiles from the benchmark suite, for bsprof to inspect.
+prof-artifacts:
+	$(GO) run ./cmd/bsrepro -scale 0.08 -experiment figure3 -resources resources.json > /dev/null
+	$(GO) test -run '^$$' -bench 'BenchmarkParallelExtract' -benchmem -benchtime 1x \
+		-memprofile heap.pprof -cpuprofile cpu.pprof . > /dev/null
+	$(GO) run ./cmd/bsprof -report resources.json
+	$(GO) run ./cmd/bsprof -heap heap.pprof -paths -top 3

@@ -135,6 +135,26 @@ func TestChaosTraceDeterminism(t *testing.T) {
 	}
 }
 
+// TestChaosNoGoroutineLeak runs faulted pipelines at high worker counts
+// and asserts the stable goroutine count returns to its pre-run level:
+// pool workers, fault paths, and tracing must all wind down. A warm-up
+// run precedes the baseline so lazily started runtime goroutines (GC
+// background mark workers scale with GOMAXPROCS and persist after the
+// process's first collection) don't masquerade as a leak when shuffled
+// test order puts this test first; the small slack absorbs the
+// stragglers (finalizer, scavenger).
+func TestChaosNoGoroutineLeak(t *testing.T) {
+	pipelineRun(t, 1, 8, "")
+	before := backscatter.StableGoroutines()
+	for _, fspec := range []string{"", "lossy@1"} {
+		pipelineRun(t, 1, 8, fspec)
+	}
+	after := backscatter.StableGoroutines()
+	if after > before+2 {
+		t.Errorf("stable goroutines grew %d -> %d across chaos runs; a pipeline goroutine leaked", before, after)
+	}
+}
+
 // TestChaosSchedulesDivergeBySeed guards against a degenerate plan that
 // ignores its seed: two lossy runs with different fault seeds must not
 // produce the same injection schedule.

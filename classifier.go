@@ -63,6 +63,7 @@ func (d *Dataset) TrainWith(alg Algorithm, votes int, labels *LabeledSet) (*Mode
 	p := classify.NewPipeline()
 	p.Trainer = alg.Trainer()
 	p.Obs = d.obs
+	p.Acct = d.acct
 	p.Workers = d.Spec.Workers
 	if votes > 1 {
 		p.Votes = votes
@@ -86,6 +87,7 @@ func (d *Dataset) Validate(alg Algorithm, trainFrac float64, runs int) (ml.Valid
 		Runs:      runs,
 		Workers:   d.Spec.Workers,
 		Obs:       d.obs,
+		Acct:      d.acct,
 	}
 	return v.Run(ds, st), nil
 }
@@ -100,7 +102,7 @@ func (d *Dataset) FeatureImportance(k int) ([]string, []float64, error) {
 		return nil, nil, err
 	}
 	st := rng.NewSource(d.Spec.Seed).Stream("importance")
-	cfg := ml.ForestConfig{Trees: 100, Workers: d.Spec.Workers, Obs: d.obs}
+	cfg := ml.ForestConfig{Trees: 100, Workers: d.Spec.Workers, Obs: d.obs, Acct: d.acct}
 	forest := ml.Forest{Config: cfg}.TrainForest(ds, st)
 	names := FeatureNames()
 	var outNames []string

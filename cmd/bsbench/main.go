@@ -19,53 +19,20 @@
 // they are near-deterministic, so a breach is a real regression. Wall
 // time gates at the looser -time-tolerance (default 100%), loose enough
 // that shared-runner noise does not fail CI but a genuine blow-up does.
+// Benchmarks present on only one side are never silently dropped: each
+// is logged, and the summary line carries the skip count.
 package main
 
 import (
 	"bufio"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"regexp"
 	"sort"
-	"strconv"
+
+	"dnsbackscatter/internal/benchparse"
 )
-
-// result is one parsed benchmark line.
-type result struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
-	// Workers stamps the pipeline worker count the run used (-workers),
-	// so trajectory files from different parallelism are distinguishable.
-	Workers int `json:"workers,omitempty"`
-}
-
-// benchLine matches standard testing benchmark output, with the GOMAXPROCS
-// suffix stripped from the name and the -benchmem columns optional.
-var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
-
-func parse(line string) (result, bool) {
-	m := benchLine.FindStringSubmatch(line)
-	if m == nil {
-		return result{}, false
-	}
-	iters, _ := strconv.ParseInt(m[2], 10, 64)
-	ns, _ := strconv.ParseFloat(m[3], 64)
-	r := result{Name: m[1], Iterations: iters, NsPerOp: ns}
-	if m[4] != "" {
-		r.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
-	}
-	if m[5] != "" {
-		r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
-	}
-	return r, true
-}
 
 // regression is one metric that moved past its tolerance against the
 // reference trajectory.
@@ -84,8 +51,8 @@ func (r regression) String() string {
 // present on only one side are reported in skipped (renames and new
 // benchmarks are not regressions); shared ones contribute a regression
 // per metric that grew beyond its tolerance.
-func compare(reference, current []result, tolerance, timeTolerance float64) (regs []regression, skipped []string, shared int) {
-	ref := make(map[string]result, len(reference))
+func compare(reference, current []benchparse.Result, tolerance, timeTolerance float64) (regs []regression, skipped []string, shared int) {
+	ref := make(map[string]benchparse.Result, len(reference))
 	for _, r := range reference {
 		ref[r.Name] = r
 	}
@@ -119,18 +86,6 @@ func compare(reference, current []result, tolerance, timeTolerance float64) (reg
 	return regs, skipped, shared
 }
 
-func loadTrajectory(path string) ([]result, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	var results []result
-	if err := json.Unmarshal(data, &results); err != nil {
-		return nil, fmt.Errorf("parsing %s: %w", path, err)
-	}
-	return results, nil
-}
-
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
 }
@@ -147,13 +102,13 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	var results []result
+	var results []benchparse.Result
 	sc := bufio.NewScanner(stdin)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
 		fmt.Fprintln(stdout, line)
-		if r, ok := parse(line); ok {
+		if r, ok := benchparse.ParseLine(line); ok {
 			r.Workers = *workers
 			results = append(results, r)
 		}
@@ -163,14 +118,13 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 1
 	}
 	// Sorted by name so the trajectory file is byte-stable run to run.
-	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
+	benchparse.Sort(results)
 
-	doc, err := json.MarshalIndent(results, "", "  ")
+	doc, err := benchparse.Marshal(results)
 	if err != nil {
-		fmt.Fprintln(stderr, "bsbench: marshal:", err)
+		fmt.Fprintln(stderr, "bsbench:", err)
 		return 1
 	}
-	doc = append(doc, '\n')
 	if *out == "" && *against == "" {
 		_, _ = stdout.Write(doc)
 	}
@@ -185,7 +139,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if *against == "" {
 		return 0
 	}
-	reference, err := loadTrajectory(*against)
+	reference, err := benchparse.LoadFile(*against)
 	if err != nil {
 		fmt.Fprintln(stderr, "bsbench:", err)
 		return 2
@@ -198,9 +152,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		for _, r := range regs {
 			fmt.Fprintln(stderr, "bsbench: REGRESSION:", r)
 		}
-		fmt.Fprintf(stderr, "bsbench: %d regression(s) against %s\n", len(regs), *against)
+		fmt.Fprintf(stderr, "bsbench: %d regression(s) against %s (%d shared, %d skipped)\n",
+			len(regs), *against, shared, len(skipped))
 		return 1
 	}
-	fmt.Fprintf(stderr, "bsbench: no regressions against %s (%d shared benchmarks)\n", *against, shared)
+	fmt.Fprintf(stderr, "bsbench: no regressions against %s (%d shared benchmarks, %d skipped)\n",
+		*against, shared, len(skipped))
 	return 0
 }

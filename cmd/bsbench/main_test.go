@@ -7,10 +7,12 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"dnsbackscatter/internal/benchparse"
 )
 
 func TestParseBenchLine(t *testing.T) {
-	r, ok := parse("BenchmarkExtract-8   \t 12\t 95123456 ns/op\t 35180928 B/op\t  196373 allocs/op")
+	r, ok := benchparse.ParseLine("BenchmarkExtract-8   \t 12\t 95123456 ns/op\t 35180928 B/op\t  196373 allocs/op")
 	if !ok {
 		t.Fatal("bench line did not parse")
 	}
@@ -18,13 +20,13 @@ func TestParseBenchLine(t *testing.T) {
 		r.BytesPerOp != 35180928 || r.AllocsPerOp != 196373 {
 		t.Fatalf("parsed %+v", r)
 	}
-	if _, ok := parse("ok  \tdnsbackscatter\t1.2s"); ok {
+	if _, ok := benchparse.ParseLine("ok  \tdnsbackscatter\t1.2s"); ok {
 		t.Fatal("non-bench line parsed")
 	}
 }
 
-func refResults() []result {
-	return []result{
+func refResults() []benchparse.Result {
+	return []benchparse.Result{
 		{Name: "BenchmarkA", NsPerOp: 1000, BytesPerOp: 1000, AllocsPerOp: 100},
 		{Name: "BenchmarkGone", NsPerOp: 500, BytesPerOp: 500, AllocsPerOp: 50},
 	}
@@ -34,7 +36,7 @@ func refResults() []result {
 // a >15% allocation growth is a regression, and benchmarks on only one
 // side are skipped, not failed.
 func TestCompare(t *testing.T) {
-	current := []result{
+	current := []benchparse.Result{
 		{Name: "BenchmarkA", NsPerOp: 1100, BytesPerOp: 1100, AllocsPerOp: 110}, // +10%: inside 15%
 		{Name: "BenchmarkNew", NsPerOp: 1, BytesPerOp: 1, AllocsPerOp: 1},
 	}
@@ -120,7 +122,7 @@ func TestRunWritesTrajectory(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var results []result
+	var results []benchparse.Result
 	if err := json.Unmarshal(data, &results); err != nil {
 		t.Fatalf("trajectory is not JSON: %v\n%s", err, data)
 	}

@@ -1,0 +1,309 @@
+// Command bsprof inspects the repo's resource-observatory artifacts:
+// pprof profiles (from bsserve's /profiles ring, CI, or `go test
+// -memprofile`), per-stage resource reports (bsrepro -resources), and
+// the checked-in allocation budgets.
+//
+// Modes:
+//
+//	bsprof -heap heap.pprof -top 10          # top allocation sites
+//	bsprof -heap heap.pprof -paths           # top sites per pipeline path
+//	bsprof -heap after.pprof -base before.pprof  # heap growth between snapshots
+//	bsprof -report resources.json            # per-stage resource table
+//	bsprof -check -budgets alloc.budgets <bench.txt  # allocation-budget gate
+//
+// The -paths view attributes each heap sample to a Figure 2 pipeline
+// path by the packages its stack crosses (extract = features/qname/geo,
+// qname-min = the dnssim resolver walk, and so on), then ranks leaf
+// allocation sites inside each path — "where do the extract stage's
+// bytes actually come from".
+//
+// The -check gate reads `go test -bench -benchmem` output (raw text or
+// a BENCH_*.json trajectory) and fails when any budgeted benchmark
+// exceeds its max B/op or allocs/op. Budgets live in alloc.budgets;
+// entries on only one side are logged, never silently dropped.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dnsbackscatter/internal/benchparse"
+	"dnsbackscatter/internal/prof"
+)
+
+// pipelinePaths attributes heap samples to Figure 2 pipeline paths by
+// the packages their stacks cross. Order is presentation order.
+var pipelinePaths = []struct {
+	name string
+	subs []string
+}{
+	{"dedup", []string{"dnsbackscatter/internal/dnslog"}},
+	{"extract", []string{"dnsbackscatter/internal/features", "dnsbackscatter/internal/qname", "dnsbackscatter/internal/geo"}},
+	{"qname-min", []string{"dnsbackscatter/internal/dnssim", "dnsbackscatter/internal/dnswire"}},
+	{"train", []string{"dnsbackscatter/internal/ml"}},
+	{"classify", []string{"dnsbackscatter/internal/classify"}},
+	{"world", []string{"dnsbackscatter/internal/world"}},
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bsprof", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	heap := fs.String("heap", "", "pprof profile to rank allocation sites from")
+	base := fs.String("base", "", "earlier pprof profile; with -heap, rank the growth between them")
+	typ := fs.String("type", "alloc_space", "sample-type column to rank (alloc_space, alloc_objects, inuse_space, samples, ...)")
+	top := fs.Int("top", 10, "sites to print per ranking")
+	paths := fs.Bool("paths", false, "with -heap, rank sites per pipeline path instead of globally")
+	report := fs.String("report", "", "per-stage resource report JSON (bsrepro -resources) to print")
+	check := fs.Bool("check", false, "enforce alloc.budgets against bench output (stdin or -bench)")
+	budgets := fs.String("budgets", "alloc.budgets", "budget file for -check")
+	bench := fs.String("bench", "", "bench output for -check: raw `go test -bench` text or a BENCH_*.json trajectory (empty = stdin)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	did := false
+	if *report != "" {
+		if code := runReport(*report, stdout, stderr); code != 0 {
+			return code
+		}
+		did = true
+	}
+	if *heap != "" {
+		if code := runHeap(*heap, *base, *typ, *top, *paths, stdout, stderr); code != 0 {
+			return code
+		}
+		did = true
+	}
+	if *check {
+		return runCheck(*budgets, *bench, stdin, stdout, stderr)
+	}
+	if !did {
+		fmt.Fprintln(stderr, "bsprof: nothing to do (want -heap, -report, or -check; see -h)")
+		return 2
+	}
+	return 0
+}
+
+// runReport prints a resource report as the aligned per-stage table.
+func runReport(path string, stdout, stderr io.Writer) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "bsprof:", err)
+		return 2
+	}
+	r, err := prof.ParseReport(data)
+	if err != nil {
+		fmt.Fprintln(stderr, "bsprof:", err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "resource report %s (%d stages; ops channel — values are scheduling-dependent)\n", path, len(r.Stages))
+	fmt.Fprint(stdout, r.String())
+	return 0
+}
+
+// runHeap ranks allocation sites in a profile, optionally against a
+// base profile (growth) and optionally split per pipeline path.
+func runHeap(heapPath, basePath, typ string, top int, paths bool, stdout, stderr io.Writer) int {
+	p, code := loadProfile(heapPath, stderr)
+	if code != 0 {
+		return code
+	}
+	idx := p.TypeIndex(typ)
+	if idx < 0 {
+		fmt.Fprintf(stderr, "bsprof: %s has no %q sample type (has: %s)\n", heapPath, typ, strings.Join(p.SampleTypes, ", "))
+		return 2
+	}
+
+	if basePath != "" {
+		b, code := loadProfile(basePath, stderr)
+		if code != 0 {
+			return code
+		}
+		bIdx := b.TypeIndex(typ)
+		if bIdx != idx {
+			fmt.Fprintf(stderr, "bsprof: %s and %s disagree on sample types; diffing %q by matching index\n", basePath, heapPath, typ)
+		}
+		fmt.Fprintf(stdout, "top %d %s growth %s -> %s\n", top, typ, basePath, heapPath)
+		printSites(stdout, prof.DiffSites(b, p, idx, top))
+		return 0
+	}
+
+	if paths {
+		fmt.Fprintf(stdout, "top %d %s sites per pipeline path (%s)\n", top, typ, heapPath)
+		for _, pp := range pipelinePaths {
+			sites := p.PathSites(idx, pp.subs, top)
+			fmt.Fprintf(stdout, "\n%s (%s):\n", pp.name, strings.Join(trimPkgs(pp.subs), ", "))
+			if len(sites) == 0 {
+				fmt.Fprintln(stdout, "  (no samples crossed this path)")
+				continue
+			}
+			printSites(stdout, sites)
+		}
+		return 0
+	}
+
+	fmt.Fprintf(stdout, "top %d %s sites (%s)\n", top, typ, heapPath)
+	printSites(stdout, p.TopSites(idx, top))
+	return 0
+}
+
+// trimPkgs shortens package paths for path headers (internal/features
+// instead of the full module path).
+func trimPkgs(subs []string) []string {
+	out := make([]string, len(subs))
+	for i, s := range subs {
+		out[i] = strings.TrimPrefix(s, "dnsbackscatter/")
+	}
+	return out
+}
+
+// loadProfile reads and parses one pprof file.
+func loadProfile(path string, stderr io.Writer) (*prof.Profile, int) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "bsprof:", err)
+		return nil, 2
+	}
+	p, err := prof.ParseProfile(data)
+	if err != nil {
+		fmt.Fprintf(stderr, "bsprof: %s: %v\n", path, err)
+		return nil, 2
+	}
+	return p, 0
+}
+
+// printSites renders ranked sites, one per line.
+func printSites(w io.Writer, sites []prof.Site) {
+	for i, s := range sites {
+		fmt.Fprintf(w, "  %2d. %12s  %s\n", i+1, prof.SizeString(uint64(max64(s.Flat, 0))), s.Func)
+	}
+}
+
+// max64 clamps negative diff values for size rendering.
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// budget is one benchmark's allocation ceiling.
+type budget struct {
+	maxBytes  float64
+	maxAllocs int64
+}
+
+// parseBudgets reads the alloc.budgets format: one
+// "name max_B/op max_allocs/op" triple per line, '#' comments.
+func parseBudgets(data []byte) (map[string]budget, []string, error) {
+	out := make(map[string]budget)
+	var order []string
+	for ln, line := range strings.Split(string(data), "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != 3 {
+			return nil, nil, fmt.Errorf("line %d: want \"name max_B/op max_allocs/op\", got %q", ln+1, line)
+		}
+		b, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("line %d: bad max B/op %q: %v", ln+1, fields[1], err)
+		}
+		a, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("line %d: bad max allocs/op %q: %v", ln+1, fields[2], err)
+		}
+		if _, dup := out[fields[0]]; dup {
+			return nil, nil, fmt.Errorf("line %d: duplicate budget for %s", ln+1, fields[0])
+		}
+		out[fields[0]] = budget{maxBytes: b, maxAllocs: a}
+		order = append(order, fields[0])
+	}
+	return out, order, nil
+}
+
+// runCheck enforces the allocation budgets against a bench run.
+func runCheck(budgetPath, benchPath string, stdin io.Reader, stdout, stderr io.Writer) int {
+	data, err := os.ReadFile(budgetPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "bsprof:", err)
+		return 2
+	}
+	buds, order, err := parseBudgets(data)
+	if err != nil {
+		fmt.Fprintf(stderr, "bsprof: %s: %v\n", budgetPath, err)
+		return 2
+	}
+
+	var results []benchparse.Result
+	if benchPath != "" {
+		results, err = benchparse.LoadFile(benchPath)
+	} else {
+		results, err = benchparse.Read(stdin)
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "bsprof:", err)
+		return 2
+	}
+
+	byName := make(map[string]benchparse.Result, len(results))
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+
+	violations, checked, skipped := 0, 0, 0
+	for _, name := range order {
+		b := buds[name]
+		r, ok := byName[name]
+		if !ok {
+			// Never silently cap coverage: a budgeted benchmark missing
+			// from the run is visible in the output and the summary.
+			fmt.Fprintf(stderr, "bsprof: budget skipped: %s (not in this bench run)\n", name)
+			skipped++
+			continue
+		}
+		checked++
+		if r.BytesPerOp > b.maxBytes {
+			fmt.Fprintf(stderr, "bsprof: OVER BUDGET: %s B/op %.0f > %.0f (+%.1f%%)\n",
+				name, r.BytesPerOp, b.maxBytes, (r.BytesPerOp/b.maxBytes-1)*100)
+			violations++
+		}
+		if r.AllocsPerOp > b.maxAllocs {
+			fmt.Fprintf(stderr, "bsprof: OVER BUDGET: %s allocs/op %d > %d\n",
+				name, r.AllocsPerOp, b.maxAllocs)
+			violations++
+		}
+	}
+	var unbudgeted []string
+	for _, r := range results {
+		if _, ok := buds[r.Name]; !ok && r.BytesPerOp > 0 {
+			unbudgeted = append(unbudgeted, r.Name)
+		}
+	}
+	sort.Strings(unbudgeted)
+	for _, name := range unbudgeted {
+		fmt.Fprintf(stderr, "bsprof: unbudgeted: %s (add to %s to gate it)\n", name, budgetPath)
+	}
+
+	if violations > 0 {
+		fmt.Fprintf(stderr, "bsprof: %d budget violation(s) against %s (%d checked, %d skipped, %d unbudgeted)\n",
+			violations, budgetPath, checked, skipped, len(unbudgeted))
+		return 1
+	}
+	fmt.Fprintf(stdout, "bsprof: all %d budgeted benchmarks within %s (%d skipped, %d unbudgeted)\n",
+		checked, budgetPath, skipped, len(unbudgeted))
+	return 0
+}

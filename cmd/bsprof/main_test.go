@@ -1,0 +1,230 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"sync"
+	"testing"
+
+	backscatter "dnsbackscatter"
+)
+
+func TestMain(m *testing.M) {
+	// Sample every allocation so the tiny test workload produces dense
+	// heap profiles; must be set before the workload allocates.
+	runtime.MemProfileRate = 1
+	os.Exit(m.Run())
+}
+
+// buildOnce runs one small pipeline (world with QNAME-minimizing
+// resolvers, extract, train, classify) so the heap profile contains
+// samples for every pipeline path bsprof attributes.
+var buildOnce sync.Once
+
+func runWorkload(t *testing.T) {
+	t.Helper()
+	buildOnce.Do(func() {
+		// 5% scale with the JP-dominant classes deepened pre-scale, the
+		// same shape the root determinism tests use to keep training
+		// feasible on a tiny world.
+		spec := backscatter.JPDitl().Scaled(0.05)
+		spec.QMinFraction = 0.4 // exercise the dnssim minimization walk
+		spec.MinQueriers = 10
+		spec.Population[backscatter.Spam] = 300
+		spec.Population[backscatter.Scan] = 300
+		spec.Population[backscatter.Mail] = 200
+		d := backscatter.Build(spec)
+		m, err := d.TrainClassifier(1)
+		if err != nil {
+			panic(err)
+		}
+		m.ClassifyAll(d.Whole())
+	})
+}
+
+// writeHeapProfile snapshots the live heap into a temp pprof file.
+func writeHeapProfile(t *testing.T) string {
+	t.Helper()
+	runtime.GC()
+	path := filepath.Join(t.TempDir(), "heap.pprof")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runBsprof(t *testing.T, stdin string, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, strings.NewReader(stdin), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// sitesUnder counts ranked site lines in the section headed by path.
+func sitesUnder(output, path string) int {
+	inSection := false
+	n := 0
+	for _, line := range strings.Split(output, "\n") {
+		switch {
+		case strings.HasPrefix(line, path+" ("):
+			inSection = true
+		case inSection && strings.HasPrefix(line, "  "):
+			if strings.Contains(line, ". ") {
+				n++
+			}
+		case inSection && line != "":
+			return n
+		}
+	}
+	return n
+}
+
+// TestHeapPaths pins the acceptance criterion: the per-path stage
+// report names the top-3 allocation sites for the extract and
+// QName-minimization paths of a real pipeline run.
+func TestHeapPaths(t *testing.T) {
+	runWorkload(t)
+	heap := writeHeapProfile(t)
+	code, stdout, stderr := runBsprof(t, "", "-heap", heap, "-paths", "-top", "3")
+	if code != 0 {
+		t.Fatalf("exit %d; stderr=%s", code, stderr)
+	}
+	for _, path := range []string{"extract", "qname-min", "train", "classify"} {
+		if got := sitesUnder(stdout, path); got < 3 {
+			t.Errorf("path %s lists %d sites, want 3:\n%s", path, got, stdout)
+		}
+	}
+}
+
+// TestHeapTopAndDiff drives the global ranking and the snapshot diff.
+func TestHeapTopAndDiff(t *testing.T) {
+	runWorkload(t)
+	before := writeHeapProfile(t)
+	sink := make([][]byte, 0, 64)
+	for i := 0; i < 64; i++ {
+		sink = append(sink, make([]byte, 16384))
+	}
+	after := writeHeapProfile(t)
+	_ = sink
+
+	code, stdout, stderr := runBsprof(t, "", "-heap", after, "-top", "5")
+	if code != 0 || !strings.Contains(stdout, "1.") {
+		t.Fatalf("top ranking: exit %d stdout=%q stderr=%q", code, stdout, stderr)
+	}
+	code, stdout, stderr = runBsprof(t, "", "-heap", after, "-base", before)
+	if code != 0 || !strings.Contains(stdout, "growth") {
+		t.Fatalf("diff: exit %d stdout=%q stderr=%q", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "TestHeapTopAndDiff") {
+		t.Errorf("diff did not surface the allocating test function:\n%s", stdout)
+	}
+
+	if code, _, _ := runBsprof(t, "", "-heap", after, "-type", "nope"); code != 2 {
+		t.Errorf("unknown sample type: exit %d, want 2", code)
+	}
+	if code, _, _ := runBsprof(t, "", "-heap", filepath.Join(t.TempDir(), "missing")); code != 2 {
+		t.Errorf("missing profile: exit %d, want 2", code)
+	}
+}
+
+// TestReport pins the resource-report rendering path.
+func TestReport(t *testing.T) {
+	acct := backscatter.NewAccountant()
+	acct.Stage("extract").AddShards(16)
+	path := filepath.Join(t.TempDir(), "resources.json")
+	if err := os.WriteFile(path, acct.Report().JSON(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, stderr := runBsprof(t, "", "-report", path)
+	if code != 0 || !strings.Contains(stdout, "extract") {
+		t.Fatalf("exit %d stdout=%q stderr=%q", code, stdout, stderr)
+	}
+	if code, _, _ := runBsprof(t, "", "-report", filepath.Join(t.TempDir(), "missing")); code != 2 {
+		t.Error("missing report did not exit 2")
+	}
+}
+
+const benchRun = `goos: linux
+BenchmarkParallelExtract/w1-8	50	20000000 ns/op	20000000 B/op	5000 allocs/op
+BenchmarkNewThing-8	100	1000 ns/op	512 B/op	3 allocs/op
+PASS
+`
+
+func writeBudgets(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "alloc.budgets")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCheck drives the budget gate: pass, violation, skipped budget,
+// and unbudgeted benchmark are all visible.
+func TestCheck(t *testing.T) {
+	budgets := writeBudgets(t, `# name  max B/op  max allocs/op
+BenchmarkParallelExtract/w1  25000000  6000
+BenchmarkGone                1000      10
+`)
+	code, stdout, stderr := runBsprof(t, benchRun, "-check", "-budgets", budgets)
+	if code != 0 {
+		t.Fatalf("within-budget run failed: stderr=%s", stderr)
+	}
+	if !strings.Contains(stdout, "1 skipped") || !strings.Contains(stdout, "1 unbudgeted") {
+		t.Errorf("summary hides skips: %q", stdout)
+	}
+	if !strings.Contains(stderr, "budget skipped: BenchmarkGone") {
+		t.Errorf("skipped budget not logged: %q", stderr)
+	}
+	if !strings.Contains(stderr, "unbudgeted: BenchmarkNewThing") {
+		t.Errorf("unbudgeted benchmark not logged: %q", stderr)
+	}
+
+	tight := writeBudgets(t, "BenchmarkParallelExtract/w1 19000000 4000\n")
+	code, _, stderr = runBsprof(t, benchRun, "-check", "-budgets", tight)
+	if code != 1 {
+		t.Fatalf("over-budget run exited %d, want 1; stderr=%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "OVER BUDGET") || !strings.Contains(stderr, "B/op") || !strings.Contains(stderr, "allocs/op") {
+		t.Errorf("violations not named: %q", stderr)
+	}
+
+	if code, _, _ := runBsprof(t, benchRun, "-check", "-budgets", filepath.Join(t.TempDir(), "missing")); code != 2 {
+		t.Error("missing budget file did not exit 2")
+	}
+	bad := writeBudgets(t, "BenchmarkX 12\n")
+	if code, _, _ := runBsprof(t, benchRun, "-check", "-budgets", bad); code != 2 {
+		t.Error("malformed budget file did not exit 2")
+	}
+}
+
+// TestCheckBenchFile pins -bench file input (text and trajectory JSON).
+func TestCheckBenchFile(t *testing.T) {
+	budgets := writeBudgets(t, "BenchmarkParallelExtract/w1 25000000 6000\n")
+	benchPath := filepath.Join(t.TempDir(), "bench.txt")
+	if err := os.WriteFile(benchPath, []byte(benchRun), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := runBsprof(t, "", "-check", "-budgets", budgets, "-bench", benchPath)
+	if code != 0 {
+		t.Fatalf("exit %d; stderr=%s", code, stderr)
+	}
+}
+
+// TestNoMode pins the usage error.
+func TestNoMode(t *testing.T) {
+	if code, _, _ := runBsprof(t, ""); code != 2 {
+		t.Error("no mode did not exit 2")
+	}
+}

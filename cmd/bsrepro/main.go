@@ -8,13 +8,17 @@
 //	bsrepro -list                      # available experiments
 //	bsrepro -stats -experiment table1  # plus per-stage pipeline timings
 //
-// Tracing and time series:
+// Tracing, time series, and resource accounting:
 //
 //	bsrepro -experiment table1 -trace traces.jsonl       # end-to-end lookup traces
 //	bsrepro -experiment table1 -timeseries ts.json       # windowed metric buckets
+//	bsrepro -experiment table1 -resources res.json       # per-stage resource report
 //
 // Trace JSONL and the windowed time-series JSON are byte-identical at any
-// -workers count; render traces with cmd/bstrace.
+// -workers count; render traces with cmd/bstrace. The -resources report
+// is the ops channel: alloc deltas, GC cycles, and worker peaks per
+// pipeline stage, scheduling-dependent by design; inspect it with
+// cmd/bsprof -report.
 package main
 
 import (
@@ -45,6 +49,7 @@ func main() {
 		trSamp  = flag.Int("trace-sample", 1, "trace 1 in N lookups (head-based, deterministic); requires -trace")
 		tsPath  = flag.String("timeseries", "", "write windowed time-series metric buckets (JSON) to this file")
 		window  = flag.Duration("window", time.Hour, "simulated-time bucket width for -timeseries")
+		resPath = flag.String("resources", "", "write the per-stage resource report (JSON, scheduling-dependent) to this file")
 	)
 	flag.Parse()
 
@@ -76,6 +81,9 @@ func main() {
 	if *stats || *tsPath != "" {
 		reg = obs.NewRegistry()
 		store.Obs = reg
+	}
+	if *resPath != "" {
+		store.Acct = backscatter.NewAccountant()
 	}
 	if *stats {
 		// A main is free to time stages with the wall clock; microseconds
@@ -143,5 +151,12 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "bsrepro: wrote windowed time series (%s buckets) to %s\n", *window, *tsPath)
+	}
+	if *resPath != "" {
+		if err := os.WriteFile(*resPath, store.Acct.Report().JSON(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "bsrepro:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bsrepro: wrote per-stage resource report to %s\n", *resPath)
 	}
 }

@@ -9,8 +9,8 @@
 //
 // then point bsdig (or dig -x) at it.
 //
-// With -http, bsserve also serves its live metrics, traces, and
-// windowed time series:
+// With -http, bsserve also serves its live metrics, traces, windowed
+// time series, and health endpoints:
 //
 //	bsserve -addr 127.0.0.1:5353 -http 127.0.0.1:8080
 //	curl http://127.0.0.1:8080/metrics               # sorted text
@@ -18,11 +18,23 @@
 //	curl http://127.0.0.1:8080/traces                # recent span trees
 //	curl 'http://127.0.0.1:8080/traces?rcode=nxdomain&format=json'
 //	curl http://127.0.0.1:8080/timeseries            # bucketed sparklines
+//	curl http://127.0.0.1:8080/healthz               # liveness: 200 once serving HTTP
+//	curl http://127.0.0.1:8080/readyz                # readiness: 503 until serving state loaded
 //	curl http://127.0.0.1:8080/debug/vars            # expvar
 //
 // /traces filters on originator=, querier=, rcode=, mindur= (seconds),
 // and limit=. Tracing keeps the most recent -trace-keep traces in a ring.
 // net/http/pprof profiling endpoints hang off /debug/pprof/.
+//
+// With -profiles DIR, bsserve continuously profiles itself: rolling
+// CPU-profile windows of -profile-window each, plus heap snapshots
+// gated on -heap-growth, all in a bounded on-disk ring of
+// -profile-keep files per kind. The ring is listed and downloadable:
+//
+//	bsserve -addr 127.0.0.1:5353 -http 127.0.0.1:8080 -profiles /tmp/bsprofiles
+//	curl http://127.0.0.1:8080/profiles              # ring listing
+//	curl -O http://127.0.0.1:8080/profiles/cpu-000001.pprof
+//	go run ./cmd/bsprof -heap heap-000002.pprof -paths
 package main
 
 import (
@@ -36,6 +48,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	backscatter "dnsbackscatter"
@@ -45,6 +58,7 @@ import (
 	"dnsbackscatter/internal/dnssim"
 	"dnsbackscatter/internal/ipaddr"
 	"dnsbackscatter/internal/obs"
+	"dnsbackscatter/internal/prof"
 	"dnsbackscatter/internal/simtime"
 	"dnsbackscatter/internal/trace"
 )
@@ -109,10 +123,10 @@ func serveTimeseries(win *obs.Window) http.HandlerFunc {
 	}
 }
 
-// serveMetrics exposes the registry on the default mux (which pprof and
-// expvar already registered themselves on) and serves it.
-func serveMetrics(httpAddr string, reg *obs.Registry) {
-	http.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+// serveMetricsText exposes the registry snapshot on /metrics: sorted
+// text by default, JSON with ?format=json or the .json path suffix.
+func serveMetricsText(reg *obs.Registry) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Query().Get("format") == "json" || strings.HasSuffix(r.URL.Path, ".json") {
 			w.Header().Set("Content-Type", "application/json")
 			_, _ = w.Write(reg.SnapshotJSON())
@@ -120,11 +134,53 @@ func serveMetrics(httpAddr string, reg *obs.Registry) {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_, _ = w.Write(reg.Snapshot())
+	}
+}
+
+// newMux assembles bsserve's HTTP surface. Nil components simply leave
+// their routes unregistered, so tests can wire exactly the handlers
+// under test. The ready flag backs /readyz: 503 until the operational
+// state (zone, faults, sink, tracer) is loaded, 200 after — the split
+// load balancers expect between "process is up" and "safe to route
+// to". /debug/ (pprof, expvar) delegates to the default mux, where
+// those packages self-register.
+func newMux(reg *obs.Registry, win *obs.Window, tr *trace.Tracer, cont *prof.Continuous, ready *atomic.Bool) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
 	})
-	http.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		_, _ = w.Write(reg.SnapshotJSON())
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if ready == nil || !ready.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "loading")
+			return
+		}
+		fmt.Fprintln(w, "ready")
 	})
+	if reg != nil {
+		mux.HandleFunc("/metrics", serveMetricsText(reg))
+		mux.HandleFunc("/metrics.json", serveMetricsText(reg))
+	}
+	if win != nil {
+		mux.HandleFunc("/timeseries", serveTimeseries(win))
+	}
+	if tr != nil {
+		mux.HandleFunc("/traces", serveTraces(tr))
+	}
+	if cont != nil {
+		h := cont.Handler()
+		mux.Handle("/profiles", h)
+		mux.Handle("/profiles/", h)
+	}
+	mux.Handle("/debug/", http.DefaultServeMux)
+	return mux
+}
+
+// serveHTTP publishes the registry on expvar and runs the HTTP server
+// until it fails or the process exits.
+func serveHTTP(httpAddr string, mux *http.ServeMux, reg *obs.Registry) {
 	expvar.Publish("backscatter", expvar.Func(func() any {
 		var doc any
 		// The snapshot is our own marshaling; re-parse so expvar nests it
@@ -134,24 +190,50 @@ func serveMetrics(httpAddr string, reg *obs.Registry) {
 		}
 		return doc
 	}))
-	srv := &http.Server{Addr: httpAddr}
+	srv := &http.Server{Addr: httpAddr, Handler: mux}
 	fmt.Fprintf(os.Stderr, "bsserve: metrics on http://%s/metrics (pprof on /debug/pprof/)\n", httpAddr)
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		fmt.Fprintln(os.Stderr, "bsserve: http:", err)
 	}
 }
 
+// profileLoop drives the continuous profiler: back-to-back CPU windows
+// of the given width, with a heap-growth check at each window boundary.
+// Wall-clock pacing lives here, in the operational main, so the prof
+// package itself stays free of real-time waits (and usable from
+// deterministic code).
+func profileLoop(cont *prof.Continuous, window time.Duration) {
+	for {
+		if err := cont.StartCPU(); err != nil {
+			fmt.Fprintln(os.Stderr, "bsserve: profiling stopped:", err)
+			return
+		}
+		time.Sleep(window)
+		if _, err := cont.StopCPU(); err != nil {
+			fmt.Fprintln(os.Stderr, "bsserve: profiling stopped:", err)
+			return
+		}
+		if _, _, err := cont.MaybeHeapSnapshot(); err != nil {
+			fmt.Fprintln(os.Stderr, "bsserve: heap snapshot:", err)
+		}
+	}
+}
+
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:5353", "UDP listen address")
-		seed     = flag.Uint64("seed", 1404, "world seed for the zone contents")
-		logPath  = flag.String("log", "", "append observed backscatter records to this TSV file")
-		name     = flag.String("authority", "final", "authority name in emitted records")
-		httpAddr = flag.String("http", "", "serve /metrics, /traces, /timeseries, /debug/vars, and /debug/pprof on this address")
-		fspec    = flag.String("faults", "", `fault-injection profile@seed (e.g. "lossy@7"); empty disables`)
-		trSamp   = flag.Uint64("trace-sample", 1, "trace 1 in N queries (0 disables tracing); served on /traces")
-		trKeep   = flag.Int("trace-keep", 512, "bound the in-memory trace ring to the most recent N traces")
-		window   = flag.Duration("window", time.Minute, "bucket width for the /timeseries record series")
+		addr       = flag.String("addr", "127.0.0.1:5353", "UDP listen address")
+		seed       = flag.Uint64("seed", 1404, "world seed for the zone contents")
+		logPath    = flag.String("log", "", "append observed backscatter records to this TSV file")
+		name       = flag.String("authority", "final", "authority name in emitted records")
+		httpAddr   = flag.String("http", "", "serve /metrics, /traces, /timeseries, /healthz, /readyz, /profiles, /debug/vars, and /debug/pprof on this address")
+		fspec      = flag.String("faults", "", `fault-injection profile@seed (e.g. "lossy@7"); empty disables`)
+		trSamp     = flag.Uint64("trace-sample", 1, "trace 1 in N queries (0 disables tracing); served on /traces")
+		trKeep     = flag.Int("trace-keep", 512, "bound the in-memory trace ring to the most recent N traces")
+		window     = flag.Duration("window", time.Minute, "bucket width for the /timeseries record series")
+		profDir    = flag.String("profiles", "", "continuously profile into this directory (served on /profiles); empty disables")
+		profWindow = flag.Duration("profile-window", 30*time.Second, "width of each rolling CPU-profile window")
+		profKeep   = flag.Int("profile-keep", 8, "bound the profile ring to N files per kind (cpu, heap)")
+		heapGrowth = flag.Int64("heap-growth", 16<<20, "heap snapshot when HeapAlloc grew this many bytes since the last one (0 snapshots every window)")
 	)
 	flag.Parse()
 
@@ -184,28 +266,47 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bsserve: injecting faults: %s\n", plan)
 	}
 
+	var cont *prof.Continuous
+	if *profDir != "" {
+		growth := *heapGrowth
+		if growth < 0 {
+			growth = 0
+		}
+		cont, err = prof.NewContinuous(prof.ContinuousConfig{
+			Dir:        *profDir,
+			MaxPerKind: *profKeep,
+			HeapGrowth: uint64(growth),
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bsserve:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bsserve: continuous profiling into %s (%s CPU windows, %d files/kind)\n",
+			cont.Dir(), *profWindow, *profKeep)
+		go profileLoop(cont, *profWindow)
+	}
+
 	// Windowed record counters, fed from the sink below with each
 	// record's own timestamp (an operational main may window on wall
 	// time; the library's determinism rules bind simulations, not
 	// servers).
 	var recTotal, recNX *obs.Counter
-	var reg *obs.Registry
+	var ready atomic.Bool
 	if *httpAddr != "" {
-		reg = obs.NewRegistry()
+		reg := obs.NewRegistry()
 		reg.SetClock(simtime.Wall) // operational main: wall-backed spans
 		s.SetMetrics(reg)
 		win := obs.NewWindow(simtime.Duration(*window / time.Second))
 		reg.SetWindow(win)
 		recTotal = reg.Counter("served_records_total")
 		recNX = reg.Counter("served_records_nxdomain_total")
-		http.HandleFunc("/timeseries", serveTimeseries(win))
+		var tr *trace.Tracer
 		if *trSamp > 0 {
-			tr := trace.New(*seed, *trSamp)
+			tr = trace.New(*seed, *trSamp)
 			tr.SetMax(*trKeep)
 			s.SetTracer(tr)
-			http.HandleFunc("/traces", serveTraces(tr))
 		}
-		go serveMetrics(*httpAddr, reg)
+		go serveHTTP(*httpAddr, newMux(reg, win, tr, cont, &ready), reg)
 	}
 
 	observe := func(r dnslog.Record) {
@@ -238,6 +339,10 @@ func main() {
 				simtime.Time(r.Time).String(), r.Originator, r.Querier, r.RCode)
 		})
 	}
+
+	// Serving state is fully loaded — zone, faults, sink, tracer — so
+	// flip readiness and let /readyz answer 200.
+	ready.Store(true)
 
 	fmt.Fprintf(os.Stderr, "bsserve: authoritative for in-addr.arpa on %s (seed %d)\n", s.Addr(), *seed)
 	fmt.Fprintf(os.Stderr, "bsserve: try: go run ./cmd/bsdig -server %s 8.8.8.8\n", s.Addr())

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"dnsbackscatter/internal/obs"
+	"dnsbackscatter/internal/prof"
+	"dnsbackscatter/internal/simtime"
+	"dnsbackscatter/internal/trace"
+)
+
+// get issues one in-process request against the mux.
+func get(t *testing.T, mux *http.ServeMux, path string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.String()
+}
+
+// TestHealthz pins liveness: 200 as soon as the mux serves, regardless
+// of readiness.
+func TestHealthz(t *testing.T) {
+	var ready atomic.Bool
+	mux := newMux(nil, nil, nil, nil, &ready)
+	if code, body := get(t, mux, "/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+}
+
+// TestReadyzFlips pins the readiness contract: 503 while loading, 200
+// once the serving state is up, 503 again for a nil flag (a mux wired
+// without one never reports ready).
+func TestReadyzFlips(t *testing.T) {
+	var ready atomic.Bool
+	mux := newMux(nil, nil, nil, nil, &ready)
+	if code, body := get(t, mux, "/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "loading") {
+		t.Fatalf("before flip: /readyz = %d %q", code, body)
+	}
+	ready.Store(true)
+	if code, body := get(t, mux, "/readyz"); code != http.StatusOK || !strings.Contains(body, "ready") {
+		t.Fatalf("after flip: /readyz = %d %q", code, body)
+	}
+	nilMux := newMux(nil, nil, nil, nil, nil)
+	if code, _ := get(t, nilMux, "/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("nil flag: /readyz = %d, want 503", code)
+	}
+}
+
+// TestMetricsAndTimeseries pins the registry and window routes in both
+// text and JSON renderings.
+func TestMetricsAndTimeseries(t *testing.T) {
+	reg := obs.NewRegistry()
+	win := obs.NewWindow(simtime.Duration(60))
+	reg.SetWindow(win)
+	reg.Counter("served_records_total").IncAt(simtime.Time(5))
+	mux := newMux(reg, win, nil, nil, nil)
+
+	if code, body := get(t, mux, "/metrics"); code != http.StatusOK || !strings.Contains(body, "served_records_total") {
+		t.Fatalf("/metrics = %d %q", code, body)
+	}
+	if code, body := get(t, mux, "/metrics.json"); code != http.StatusOK || !strings.Contains(body, "{") {
+		t.Fatalf("/metrics.json = %d %q", code, body)
+	}
+	if code, body := get(t, mux, "/metrics?format=json"); code != http.StatusOK || !strings.Contains(body, "{") {
+		t.Fatalf("/metrics?format=json = %d %q", code, body)
+	}
+	if code, _ := get(t, mux, "/timeseries"); code != http.StatusOK {
+		t.Fatalf("/timeseries = %d", code)
+	}
+	if code, body := get(t, mux, "/timeseries?format=json"); code != http.StatusOK || !strings.Contains(body, "{") {
+		t.Fatalf("/timeseries?format=json = %d %q", code, body)
+	}
+}
+
+// TestTracesRoute pins the tracer route, including the bad-parameter
+// rejections.
+func TestTracesRoute(t *testing.T) {
+	tr := trace.New(1, 1)
+	mux := newMux(nil, nil, tr, nil, nil)
+	if code, body := get(t, mux, "/traces"); code != http.StatusOK || !strings.Contains(body, "traces held") {
+		t.Fatalf("/traces = %d %q", code, body)
+	}
+	if code, _ := get(t, mux, "/traces?format=json"); code != http.StatusOK {
+		t.Fatalf("/traces?format=json = %d", code)
+	}
+	if code, _ := get(t, mux, "/traces?mindur=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("bad mindur = %d, want 400", code)
+	}
+	if code, _ := get(t, mux, "/traces?limit=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("bad limit = %d, want 400", code)
+	}
+}
+
+// TestProfilesRoute pins the continuous-profiling ring mount: listing,
+// download, and the 404 for names outside the ring.
+func TestProfilesRoute(t *testing.T) {
+	cont, err := prof.NewContinuous(prof.ContinuousConfig{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, err := cont.HeapSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := newMux(nil, nil, nil, cont, nil)
+
+	code, body := get(t, mux, "/profiles")
+	if code != http.StatusOK || !strings.Contains(body, name) {
+		t.Fatalf("/profiles = %d %q", code, body)
+	}
+	if code, body := get(t, mux, "/profiles/"+name); code != http.StatusOK || len(body) == 0 {
+		t.Fatalf("download = %d (%d bytes)", code, len(body))
+	}
+	if code, _ := get(t, mux, "/profiles/no-such.pprof"); code != http.StatusNotFound {
+		t.Fatalf("unknown name = %d, want 404", code)
+	}
+}
+
+// TestProfilesUnmounted pins that a mux without a profiler 404s the
+// route instead of panicking.
+func TestProfilesUnmounted(t *testing.T) {
+	mux := newMux(nil, nil, nil, nil, nil)
+	if code, _ := get(t, mux, "/profiles"); code != http.StatusNotFound {
+		t.Fatalf("/profiles without ring = %d, want 404", code)
+	}
+}

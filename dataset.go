@@ -13,6 +13,7 @@ import (
 	"dnsbackscatter/internal/groundtruth"
 	"dnsbackscatter/internal/ipaddr"
 	"dnsbackscatter/internal/obs"
+	"dnsbackscatter/internal/prof"
 	"dnsbackscatter/internal/rng"
 	"dnsbackscatter/internal/simtime"
 	"dnsbackscatter/internal/trace"
@@ -272,8 +273,9 @@ type Dataset struct {
 	Labels *groundtruth.LabeledSet
 
 	whole  *Snapshot
-	obs    *obs.Registry // non-nil when built with BuildObserved
-	tracer *trace.Tracer // non-nil when built with tracing enabled
+	obs    *obs.Registry    // non-nil when built with BuildObserved
+	tracer *trace.Tracer    // non-nil when built with tracing enabled
+	acct   *prof.Accountant // non-nil when built with BuildInstrumented
 
 	truthOnce sync.Once
 	truth     map[Addr]Class
@@ -313,6 +315,19 @@ func BuildObserved(spec DatasetSpec, reg *obs.Registry) *Dataset {
 // pass a pre-configured tracer to control ring capacity (SetMax) before
 // the build commits traces.
 func BuildTraced(spec DatasetSpec, reg *obs.Registry, tr *trace.Tracer) *Dataset {
+	return BuildInstrumented(spec, reg, tr, nil)
+}
+
+// BuildInstrumented is BuildTraced with a resource accountant attached:
+// the Figure 2 pipeline stages (dedup, filter, extract, and train /
+// validate / classify through TrainClassifier and friends) accumulate
+// per-stage resource accounting — alloc deltas, GC cycles, goroutine
+// and pool-worker high-water marks — into acct. The accountant is the
+// repository's *ops* channel: its readings depend on scheduling and GC
+// timing, so they are reported only via Resources(), never folded into
+// the deterministic obs snapshot, traces, or time series. A nil acct is
+// exactly BuildTraced.
+func BuildInstrumented(spec DatasetSpec, reg *obs.Registry, tr *trace.Tracer, acct *prof.Accountant) *Dataset {
 	if spec.Scale <= 0 {
 		spec.Scale = 1
 	}
@@ -364,7 +379,7 @@ func BuildTraced(spec DatasetSpec, reg *obs.Registry, tr *trace.Tracer) *Dataset
 	w.SetTracer(tr)
 	w.Run()
 
-	d := &Dataset{Spec: spec, World: w, obs: reg, tracer: tr}
+	d := &Dataset{Spec: spec, World: w, obs: reg, tracer: tr, acct: acct}
 	switch spec.Authority {
 	case "jp":
 		d.Records = w.National["jp"].Records
@@ -379,6 +394,7 @@ func BuildTraced(spec DatasetSpec, reg *obs.Registry, tr *trace.Tracer) *Dataset
 	d.Extractor = features.NewExtractor(w.Geo, w.QuerierName)
 	d.Extractor.Obs = reg
 	d.Extractor.Tracer = tr
+	d.Extractor.Acct = acct
 	d.Extractor.Workers = spec.Workers
 	if spec.MinQueriers > 0 {
 		d.Extractor.MinQueriers = spec.MinQueriers

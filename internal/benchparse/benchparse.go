@@ -1,0 +1,115 @@
+// Package benchparse parses `go test -bench` output and the repo's
+// benchmark-trajectory JSON files (BENCH_*.json), so the tools that gate
+// on benchmarks — cmd/bsbench (trajectory diffs) and cmd/bsprof (alloc
+// budgets) — share one reader instead of two regexes drifting apart.
+package benchparse
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Result is one parsed benchmark: name (GOMAXPROCS suffix stripped),
+// iterations, ns/op, and — when the run used -benchmem — B/op and
+// allocs/op. JSON field names match the BENCH_*.json trajectory files.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// Workers stamps the pipeline worker count the run used (-workers),
+	// so trajectory files from different parallelism are distinguishable.
+	Workers int `json:"workers,omitempty"`
+}
+
+// benchLine matches standard testing benchmark output, with the GOMAXPROCS
+// suffix stripped from the name and the -benchmem columns optional.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// ParseLine parses one line of `go test -bench` output, reporting whether
+// the line was a benchmark result.
+func ParseLine(line string) (Result, bool) {
+	m := benchLine.FindStringSubmatch(line)
+	if m == nil {
+		return Result{}, false
+	}
+	iters, _ := strconv.ParseInt(m[2], 10, 64)
+	ns, _ := strconv.ParseFloat(m[3], 64)
+	r := Result{Name: m[1], Iterations: iters, NsPerOp: ns}
+	if m[4] != "" {
+		r.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
+	}
+	if m[5] != "" {
+		r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+	}
+	return r, true
+}
+
+// Read parses every benchmark line from raw `go test -bench` output,
+// in input order. Non-benchmark lines are ignored.
+func Read(r io.Reader) ([]Result, error) {
+	var results []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		if res, ok := ParseLine(sc.Text()); ok {
+			results = append(results, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchparse: read: %w", err)
+	}
+	return results, nil
+}
+
+// LoadFile reads a benchmark file in either format: a BENCH_*.json
+// trajectory (detected by a leading '[') or raw `go test -bench` text.
+func LoadFile(path string) ([]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range data {
+		switch c {
+		case ' ', '\t', '\r', '\n':
+			continue
+		case '[':
+			var results []Result
+			if err := json.Unmarshal(data, &results); err != nil {
+				return nil, fmt.Errorf("benchparse: parsing %s: %w", path, err)
+			}
+			return results, nil
+		}
+		break
+	}
+	results, err := Read(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("benchparse: parsing %s: %w", path, err)
+	}
+	return results, nil
+}
+
+// Sort orders results by name in place, the order trajectory files use
+// so their bytes are stable run to run.
+func Sort(results []Result) {
+	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
+}
+
+// Marshal renders results as the indented, newline-terminated JSON of a
+// trajectory file. Callers sort first for byte-stable output.
+func Marshal(results []Result) ([]byte, error) {
+	doc, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("benchparse: marshal: %w", err)
+	}
+	return append(doc, '\n'), nil
+}

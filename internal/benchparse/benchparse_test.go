@@ -1,0 +1,86 @@
+package benchparse
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	r, ok := ParseLine("BenchmarkExtract-8   \t 12\t 95123456 ns/op\t 35180928 B/op\t  196373 allocs/op")
+	if !ok {
+		t.Fatal("bench line did not parse")
+	}
+	if r.Name != "BenchmarkExtract" || r.Iterations != 12 || r.NsPerOp != 95123456 ||
+		r.BytesPerOp != 35180928 || r.AllocsPerOp != 196373 {
+		t.Fatalf("parsed %+v", r)
+	}
+	if r, ok := ParseLine("BenchmarkFast/w1-4 100 12.5 ns/op"); !ok || r.Name != "BenchmarkFast/w1" || r.BytesPerOp != 0 {
+		t.Fatalf("memless line parsed as %+v ok=%v", r, ok)
+	}
+	if _, ok := ParseLine("ok  \tdnsbackscatter\t1.2s"); ok {
+		t.Fatal("non-bench line parsed")
+	}
+}
+
+func TestReadAndSort(t *testing.T) {
+	raw := "goos: linux\nBenchmarkB-8\t10\t200 ns/op\nBenchmarkA-8\t10\t100 ns/op\nPASS\n"
+	results, err := Read(strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %+v", results)
+	}
+	Sort(results)
+	if results[0].Name != "BenchmarkA" || results[1].Name != "BenchmarkB" {
+		t.Fatalf("sorted = %+v", results)
+	}
+}
+
+// TestLoadFileBothFormats pins the dual reader: trajectory JSON and raw
+// bench text load identically.
+func TestLoadFileBothFormats(t *testing.T) {
+	dir := t.TempDir()
+	raw := "BenchmarkA-8\t10\t100 ns/op\t50 B/op\t5 allocs/op\n"
+	txtPath := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(txtPath, []byte(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fromText, err := LoadFile(txtPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := Marshal(fromText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonPath := filepath.Join(dir, "bench.json")
+	if err := os.WriteFile(jsonPath, doc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, err := LoadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fromText) != 1 || len(fromJSON) != 1 || fromText[0] != fromJSON[0] {
+		t.Fatalf("text=%+v json=%+v", fromText, fromJSON)
+	}
+	if fromJSON[0].BytesPerOp != 50 || fromJSON[0].AllocsPerOp != 5 {
+		t.Fatalf("allocation columns lost: %+v", fromJSON[0])
+	}
+}
+
+func TestLoadFileErrors(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file loaded")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("[{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(bad); err == nil {
+		t.Error("malformed JSON loaded")
+	}
+}

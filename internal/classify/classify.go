@@ -18,6 +18,7 @@ import (
 	"dnsbackscatter/internal/ml"
 	"dnsbackscatter/internal/obs"
 	"dnsbackscatter/internal/parallel"
+	"dnsbackscatter/internal/prof"
 	"dnsbackscatter/internal/rng"
 	"dnsbackscatter/internal/simtime"
 )
@@ -103,6 +104,9 @@ type Pipeline struct {
 	// GOMAXPROCS(0) and 1 runs sequentially. Trained models and their
 	// classifications are byte-identical for every worker count.
 	Workers int
+	// Acct, when non-nil, accumulates train/classify resource accounting
+	// on the ops channel (trained models inherit it); see internal/prof.
+	Acct *prof.Accountant
 }
 
 // NewPipeline returns a pipeline with the paper's defaults: Random Forest
@@ -122,8 +126,9 @@ var ErrTooFewExamples = errors.New("classify: too few labeled examples to train"
 // Model is a trained originator classifier.
 type Model struct {
 	clf     ml.Classifier
-	obs     *obs.Registry // inherited from the training pipeline; may be nil
-	workers int           // inherited from the training pipeline
+	obs     *obs.Registry    // inherited from the training pipeline; may be nil
+	acct    *prof.Accountant // inherited from the training pipeline; may be nil
+	workers int              // inherited from the training pipeline
 }
 
 // TrainingSet assembles the ml design matrix from labels that re-appear in
@@ -179,6 +184,9 @@ func (p *Pipeline) trainer() ml.Trainer {
 		if f.Config.Obs == nil {
 			f.Config.Obs = p.Obs
 		}
+		if f.Config.Acct == nil {
+			f.Config.Acct = p.Acct
+		}
 		return f
 	}
 	return p.Trainer
@@ -195,9 +203,9 @@ func (p *Pipeline) Train(s *Snapshot, labels *groundtruth.LabeledSet, st *rng.St
 	tr := p.trainer()
 	if p.Votes > 1 {
 		clf := ml.TrainMajorityWorkers(tr, ds, p.Votes, p.Workers, st)
-		return &Model{clf: clf, obs: p.Obs, workers: p.Workers}, nil
+		return &Model{clf: clf, obs: p.Obs, acct: p.Acct, workers: p.Workers}, nil
 	}
-	return &Model{clf: tr.Train(ds, st), obs: p.Obs, workers: p.Workers}, nil
+	return &Model{clf: tr.Train(ds, st), obs: p.Obs, acct: p.Acct, workers: p.Workers}, nil
 }
 
 // Classify labels one feature vector.
@@ -212,16 +220,18 @@ func (m *Model) Classify(v *features.Vector) activity.Class {
 // trained state); the label map is identical for every worker count.
 func (m *Model) ClassifyAll(s *Snapshot) map[ipaddr.Addr]activity.Class {
 	sp := m.obs.StartSpan("classify")
+	tok := m.acct.Start("classify")
 	rows := make([][]float64, len(s.Vectors))
 	for i, v := range s.Vectors {
 		rows[i] = v.X[:]
 	}
-	pool := parallel.Pool{Workers: m.workers, Obs: m.obs, Stage: "classify"}
+	pool := parallel.Pool{Workers: m.workers, Obs: m.obs, Stage: "classify", Acct: m.acct}
 	preds := ml.PredictBatch(m.clf, rows, pool)
 	out := make(map[ipaddr.Addr]activity.Class, len(s.Vectors))
 	for i, v := range s.Vectors {
 		out[v.Originator] = activity.Class(preds[i])
 	}
+	tok.End()
 	sp.End()
 	m.obs.Counter("pipeline_classified_total").Add(uint64(len(out)))
 	return out

@@ -21,6 +21,7 @@ import (
 	"dnsbackscatter/internal/ipaddr"
 	"dnsbackscatter/internal/obs"
 	"dnsbackscatter/internal/parallel"
+	"dnsbackscatter/internal/prof"
 	"dnsbackscatter/internal/qname"
 	"dnsbackscatter/internal/simtime"
 	"dnsbackscatter/internal/trace"
@@ -105,6 +106,12 @@ type Extractor struct {
 	// (pipeline_records_total, pipeline_records_kept_total,
 	// pipeline_originators_total, pipeline_analyzable_total).
 	Obs *obs.Registry
+	// Acct, when non-nil, accumulates per-stage resource accounting
+	// (alloc deltas, GC cycles, goroutine and worker peaks) for
+	// dedup/filter/extract on the ops channel — scheduling-dependent
+	// readings that never enter the deterministic obs snapshot. Nil
+	// costs nothing.
+	Acct *prof.Accountant
 	// Workers bounds the goroutines Extract fans originators across;
 	// <= 0 uses runtime.GOMAXPROCS(0) and 1 runs sequentially. Output
 	// is byte-identical for every worker count (the determinism
@@ -175,12 +182,13 @@ type shardAgg struct {
 //
 //bslint:hotpath
 func (x *Extractor) Extract(recs []dnslog.Record, start simtime.Time, dur simtime.Duration) []*Vector {
-	pool := parallel.Pool{Workers: x.Workers, Obs: x.Obs}
+	pool := parallel.Pool{Workers: x.Workers, Obs: x.Obs, Acct: x.Acct}
 
 	// Dedup stage: partition the stream by originator (stable, so each
 	// shard stays time-ordered per pair), then dedup and aggregate each
 	// shard independently.
 	sp := x.Obs.StartSpan("dedup")
+	tok := x.Acct.Start("dedup")
 	parts := make([][]dnslog.Record, extractShards)
 	for _, r := range recs {
 		s := shardOf(r.Originator)
@@ -234,6 +242,7 @@ func (x *Extractor) Extract(recs []dnslog.Record, start simtime.Time, dur simtim
 		kept += sh.kept
 		originators += len(sh.aggs)
 	}
+	tok.End()
 	sp.End()
 	x.Obs.Counter("pipeline_records_total").Add(uint64(len(recs)))
 	x.Obs.Counter("pipeline_records_kept_total").Add(uint64(kept))
@@ -244,6 +253,7 @@ func (x *Extractor) Extract(recs []dnslog.Record, start simtime.Time, dur simtim
 	// analyzability threshold. Each shard dedups its own querier view;
 	// the union across shards is order-independent.
 	sp = x.Obs.StartSpan("filter")
+	tok = x.Acct.Start("filter")
 	pool.Stage = "filter"
 	pool.Each(extractShards, func(s int) {
 		sh := shards[s]
@@ -289,6 +299,7 @@ func (x *Extractor) Extract(recs []dnslog.Record, start simtime.Time, dur simtim
 	if totalBuckets < 1 {
 		totalBuckets = 1
 	}
+	tok.End()
 	sp.End()
 	x.Obs.Counter("pipeline_analyzable_total").Add(uint64(analyzable))
 
@@ -296,6 +307,7 @@ func (x *Extractor) Extract(recs []dnslog.Record, start simtime.Time, dur simtim
 	// in sorted address order so the fan-out input — and therefore the
 	// index-ordered merge — is deterministic.
 	sp = x.Obs.StartSpan("extract")
+	tok = x.Acct.Start("extract")
 	type workItem struct {
 		orig ipaddr.Addr
 		agg  *originatorAgg
@@ -321,6 +333,7 @@ func (x *Extractor) Extract(recs []dnslog.Record, start simtime.Time, dur simtim
 		}
 		return out[i].Originator < out[j].Originator
 	})
+	tok.End()
 	sp.End()
 	return out
 }

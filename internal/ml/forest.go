@@ -6,6 +6,7 @@ import (
 
 	"dnsbackscatter/internal/obs"
 	"dnsbackscatter/internal/parallel"
+	"dnsbackscatter/internal/prof"
 	"dnsbackscatter/internal/rng"
 )
 
@@ -24,6 +25,9 @@ type ForestConfig struct {
 	// Obs, when non-nil, records the training fan-out under the
 	// parallel_* metrics with stage="train".
 	Obs *obs.Registry
+	// Acct, when non-nil, accumulates the train stage's resource
+	// accounting (alloc deltas, worker peaks) on the ops channel.
+	Acct *prof.Accountant
 }
 
 // Forest trains a Random Forest (Breiman 2001): bagged CART trees with
@@ -81,7 +85,8 @@ func (f Forest) TrainForest(d *Dataset, st *rng.Stream) *ForestModel {
 		seeds[t] = st.Uint64()
 	}
 	n := d.Len()
-	pool := parallel.Pool{Workers: cfg.Workers, Obs: cfg.Obs, Stage: "train"}
+	tok := cfg.Acct.Start("train")
+	pool := parallel.Pool{Workers: cfg.Workers, Obs: cfg.Obs, Stage: "train", Acct: cfg.Acct}
 	m.trees = parallel.Map(pool, cfg.Trees, func(t int) *Tree {
 		ts := rng.New(seeds[t])
 		boot := make([]int, n)
@@ -100,6 +105,7 @@ func (f Forest) TrainForest(d *Dataset, st *rng.Stream) *ForestModel {
 	for i := range m.importance {
 		m.importance[i] /= float64(cfg.Trees)
 	}
+	tok.End()
 	return m
 }
 

@@ -15,6 +15,7 @@ import (
 
 	"dnsbackscatter/internal/obs"
 	"dnsbackscatter/internal/parallel"
+	"dnsbackscatter/internal/prof"
 	"dnsbackscatter/internal/rng"
 )
 
@@ -324,6 +325,9 @@ type Validator struct {
 	// Obs, when non-nil, records the fold fan-out under the parallel_*
 	// metrics with stage="validate".
 	Obs *obs.Registry
+	// Acct, when non-nil, accumulates the validate stage's resource
+	// accounting on the ops channel.
+	Acct *prof.Accountant
 }
 
 // Run executes the folds and aggregates mean±std of each metric in fold
@@ -333,7 +337,8 @@ func (v Validator) Run(d *Dataset, st *rng.Stream) ValidationResult {
 	for r := range seeds {
 		seeds[r] = st.Uint64()
 	}
-	pool := parallel.Pool{Workers: v.Workers, Obs: v.Obs, Stage: "validate"}
+	tok := v.Acct.Start("validate")
+	pool := parallel.Pool{Workers: v.Workers, Obs: v.Obs, Stage: "validate", Acct: v.Acct}
 	ms := parallel.Map(pool, v.Runs, func(r int) Metrics {
 		rs := rng.New(seeds[r])
 		trainIdx, testIdx := StratifiedSplit(d, v.TrainFrac, rs)
@@ -350,7 +355,7 @@ func (v Validator) Run(d *Dataset, st *rng.Stream) ValidationResult {
 		rec = append(rec, m.Recall)
 		f1 = append(f1, m.F1)
 	}
-	return ValidationResult{
+	res := ValidationResult{
 		Trainer:   v.Trainer.Name(),
 		Runs:      v.Runs,
 		Accuracy:  meanStd(acc),
@@ -358,6 +363,8 @@ func (v Validator) Run(d *Dataset, st *rng.Stream) ValidationResult {
 		Recall:    meanStd(rec),
 		F1:        meanStd(f1),
 	}
+	tok.End()
+	return res
 }
 
 // Majority wraps n independently trained classifiers and predicts by vote,

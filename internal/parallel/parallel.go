@@ -21,6 +21,11 @@
 // workers in the parallel_workers{stage=...} gauge, which returns to
 // zero when the batch completes so snapshots stay byte-identical across
 // worker counts.
+//
+// A Pool may also carry a prof.Accountant. Unlike the obs registry,
+// the accountant records scheduling-dependent readings (worker
+// high-water marks, shard counts per batch) on the ops channel; it
+// never touches deterministic artifacts. A nil Acct costs nothing.
 package parallel
 
 import (
@@ -30,6 +35,7 @@ import (
 	"sync/atomic"
 
 	"dnsbackscatter/internal/obs"
+	"dnsbackscatter/internal/prof"
 )
 
 // Workers resolves a requested worker count: n if positive, otherwise
@@ -52,6 +58,10 @@ type Pool struct {
 	Obs *obs.Registry
 	// Stage labels the metrics, e.g. "extract" or "train".
 	Stage string
+	// Acct, when non-nil together with Stage, accumulates per-stage
+	// resource accounting (shard counts, concurrent-worker peaks) on the
+	// ops channel — see internal/prof.
+	Acct *prof.Accountant
 }
 
 // Each runs fn(i) for every i in [0, n), using at most p.Workers
@@ -108,9 +118,12 @@ func (p Pool) run(ctx context.Context, n int, fn func(i int) error) error {
 		return nil
 	}
 	var gauge *obs.Gauge
+	var sacct *prof.StageAcct
 	if p.Stage != "" {
 		p.Obs.Counter("parallel_shards_total", obs.L("stage", p.Stage)).Add(uint64(n))
 		gauge = p.Obs.Gauge("parallel_workers", obs.L("stage", p.Stage))
+		sacct = p.Acct.Stage(p.Stage)
+		sacct.AddShards(uint64(n))
 	}
 
 	w := Workers(p.Workers)
@@ -121,6 +134,8 @@ func (p Pool) run(ctx context.Context, n int, fn func(i int) error) error {
 		// Sequential path: today's plain loop, no goroutines.
 		gauge.Add(1)
 		defer gauge.Add(-1)
+		sacct.EnterWorker()
+		defer sacct.LeaveWorker()
 		for i := 0; i < n; i++ {
 			if ctx != nil {
 				if err := ctx.Err(); err != nil {
@@ -156,6 +171,8 @@ func (p Pool) run(ctx context.Context, n int, fn func(i int) error) error {
 			defer wg.Done()
 			gauge.Add(1)
 			defer gauge.Add(-1)
+			sacct.EnterWorker()
+			defer sacct.LeaveWorker()
 			defer func() {
 				if r := recover(); r != nil {
 					pOnce.Do(func() { pVal = r })

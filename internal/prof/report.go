@@ -1,0 +1,133 @@
+package prof
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// StageStats is one stage's accumulated resource accounting — the ops
+// view of a Figure 2 stage. All values are scheduling-dependent (see
+// the package comment); never fold them into deterministic artifacts.
+type StageStats struct {
+	// Stage is the pipeline stage name ("dedup", "extract", ...).
+	Stage string `json:"stage"`
+	// Calls counts completed Start/End executions.
+	Calls uint64 `json:"calls"`
+	// AllocBytes is the summed TotalAlloc delta across executions.
+	AllocBytes uint64 `json:"alloc_bytes"`
+	// Mallocs and Frees are the summed heap-object deltas.
+	Mallocs uint64 `json:"mallocs"`
+	Frees   uint64 `json:"frees"`
+	// GCCycles is how many collections completed inside the stage.
+	GCCycles uint64 `json:"gc_cycles"`
+	// HeapPeakBytes is the largest HeapAlloc sampled at a stage boundary.
+	HeapPeakBytes uint64 `json:"heap_peak_bytes"`
+	// GoroutinePeak is the goroutine high-water mark observed at stage
+	// boundaries and inside pool workers.
+	GoroutinePeak int64 `json:"goroutine_peak"`
+	// Shards counts parallel work items dispatched for the stage.
+	Shards uint64 `json:"shards"`
+	// WorkerPeak is the peak concurrent pool workers in the stage.
+	WorkerPeak int64 `json:"worker_peak"`
+}
+
+// ResourceReport is the accountant's full snapshot, stages sorted by
+// name. The sort keys the *rendering*; the values inside stay
+// scheduling-dependent, which is why the report travels on its own ops
+// channel instead of the obs registry.
+type ResourceReport struct {
+	// Stages holds one row per stage that recorded anything.
+	Stages []StageStats `json:"stages"`
+}
+
+// Report snapshots every stage's accounting. An empty report (nil
+// accountant or no stages) has no rows.
+func (a *Accountant) Report() ResourceReport {
+	var r ResourceReport
+	if a == nil {
+		return r
+	}
+	a.mu.Lock()
+	handles := make([]*StageAcct, 0, len(a.stages))
+	for _, s := range a.stages {
+		handles = append(handles, s)
+	}
+	a.mu.Unlock()
+	for _, s := range handles {
+		st := StageStats{
+			Stage:         s.name,
+			Calls:         s.calls.Load(),
+			AllocBytes:    s.allocBytes.Load(),
+			Mallocs:       s.mallocs.Load(),
+			Frees:         s.frees.Load(),
+			GCCycles:      s.gcCycles.Load(),
+			HeapPeakBytes: s.heapPeak.Load(),
+			GoroutinePeak: s.goroPeak.Load(),
+			Shards:        s.shards.Load(),
+			WorkerPeak:    s.workPeak.Load(),
+		}
+		if st.Calls == 0 && st.Shards == 0 && st.WorkerPeak == 0 {
+			continue
+		}
+		r.Stages = append(r.Stages, st)
+	}
+	sort.Slice(r.Stages, func(i, j int) bool { return r.Stages[i].Stage < r.Stages[j].Stage })
+	return r
+}
+
+// JSON renders the report as an indented JSON document, stages sorted
+// by name.
+func (r ResourceReport) JSON() []byte {
+	if r.Stages == nil {
+		r.Stages = []StageStats{}
+	}
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		// Plain structs of integers and strings cannot fail to marshal.
+		return []byte("{}")
+	}
+	return append(out, '\n')
+}
+
+// ParseReport decodes a report previously rendered with JSON — the
+// bsprof side of the round trip.
+func ParseReport(data []byte) (ResourceReport, error) {
+	var r ResourceReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return ResourceReport{}, fmt.Errorf("prof: parsing resource report: %w", err)
+	}
+	return r, nil
+}
+
+// String renders the report as an aligned table, one stage per row.
+func (r ResourceReport) String() string {
+	if len(r.Stages) == 0 {
+		return "no stages accounted\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %6s %12s %10s %6s %12s %6s %8s %7s\n",
+		"stage", "calls", "alloc", "mallocs", "gc", "heap-peak", "goro", "shards", "workers")
+	for _, s := range r.Stages {
+		fmt.Fprintf(&b, "%-12s %6d %12s %10d %6d %12s %6d %8d %7d\n",
+			s.Stage, s.Calls, SizeString(s.AllocBytes), s.Mallocs, s.GCCycles,
+			SizeString(s.HeapPeakBytes), s.GoroutinePeak, s.Shards, s.WorkerPeak)
+	}
+	return b.String()
+}
+
+// SizeString renders a byte count with a binary unit suffix (12.3MB),
+// keeping report tables readable at B-Root scale.
+func SizeString(n uint64) string {
+	const unit = 1024
+	if n < unit {
+		return fmt.Sprintf("%dB", n)
+	}
+	div, exp := uint64(unit), 0
+	for v := n / unit; v >= unit; v /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f%cB", float64(n)/float64(div), "KMGTPE"[exp])
+}

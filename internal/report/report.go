@@ -42,6 +42,11 @@ type Store struct {
 	// (DatasetSpec.Trace): 0 disables tracing, 1 traces every lookup,
 	// N keeps the deterministic 1/N. Set it before the first Get.
 	Trace int
+	// Acct, when non-nil, attaches this resource accountant to every
+	// dataset the store builds (BuildInstrumented), so one bsrepro run
+	// accumulates per-stage resource accounting across experiments on
+	// the ops channel. Set it before the first Get.
+	Acct *backscatter.Accountant
 
 	mu sync.Mutex
 	ds map[string]*backscatter.Dataset // guarded by mu
@@ -62,9 +67,9 @@ func (s *Store) Get(spec backscatter.DatasetSpec) *backscatter.Dataset {
 	if d, ok := s.ds[spec.Name]; ok {
 		return d
 	}
-	d := backscatter.BuildObserved(
+	d := backscatter.BuildInstrumented(
 		spec.Scaled(s.Scale).WithParallelism(s.Workers).WithFaults(s.Faults).WithTracing(s.Trace),
-		s.Obs)
+		s.Obs, nil, s.Acct)
 	s.ds[spec.Name] = d
 	return d
 }

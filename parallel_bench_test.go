@@ -47,6 +47,34 @@ func BenchmarkParallelExtract(b *testing.B) {
 	ds.Extractor.Workers = 0
 }
 
+// BenchmarkProfOverhead times the extract stage with resource
+// accounting detached and attached. The off case is the acceptance
+// bound — a nil accountant must cost nothing on the hot path (one nil
+// check, no allocations), so its B/op must match BenchmarkParallelExtract
+// exactly — while the on case prices the per-stage ReadMemStats pair
+// and the pool's worker accounting.
+func BenchmarkProfOverhead(b *testing.B) {
+	ds := parDataset(b)
+	ds.Extractor.Workers = 8
+	for _, mode := range []struct {
+		name string
+		acct *backscatter.Accountant
+	}{
+		{"off", nil},
+		{"on", backscatter.NewAccountant()},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			ds.Extractor.Acct = mode.acct
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ds.Extractor.Extract(ds.Records, ds.Spec.Start, ds.Spec.Duration)
+			}
+		})
+	}
+	ds.Extractor.Acct = nil
+	ds.Extractor.Workers = 0
+}
+
 func BenchmarkParallelTrain(b *testing.B) {
 	ds := parDataset(b)
 	for _, w := range parWorkerCounts {
