@@ -73,8 +73,11 @@ docs:
 
 # End-to-end worker-count determinism under the race detector — the
 # CI job runs this with GOMAXPROCS=2 so parallel paths really interleave.
+# TestScratchReuseInvariance extends the matrix with the PR 8 contract:
+# disabling every scratch-reuse/pooling optimization (DatasetSpec.NoReuse)
+# changes no output byte.
 determinism:
-	$(GO) test -race -run TestSeedMatrixDeterminism -v .
+	$(GO) test -race -run 'TestSeedMatrixDeterminism|TestScratchReuseInvariance' -v .
 
 # Chaos seed matrix: the full pipeline under deterministic fault
 # profiles (none / lossy / servfail-storm) × seeds × worker counts,
@@ -99,29 +102,26 @@ trace-artifacts:
 		-timeseries timeseries.json -window 2h > /dev/null
 
 # Benchmark trajectory: run the paper-reproduction benchmark suite once
-# per benchmark and record name/ns/op/B/op/allocs into BENCH_PR5.json so
-# later PRs can diff performance against the checked-in BENCH_PR3/PR4
+# per benchmark and record name/ns/op/B/op/allocs into BENCH_PR8.json so
+# later PRs can diff performance against the checked-in BENCH_PR3/PR4/PR5
 # baselines. BS_SCALE tunes dataset size as usual; the BenchmarkParallel*
 # entries compare worker counts 1 and 8, and BenchmarkTraceOverhead
 # records the off/sampled/full tracing cost on the resolver hot path
 # (the disabled path must stay within noise of the PR 4 baseline).
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . | $(GO) run ./cmd/bsbench -o BENCH_PR5.json
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . | $(GO) run ./cmd/bsbench -o BENCH_PR8.json
 
-# Benchmark regression gate: re-run the suite and diff it against the
-# checked-in trajectory. Allocation metrics (B/op, allocs/op) must stay
-# within 15% of BENCH_PR5; wall time gets a loose 100% gate because
-# shared CI runners are noisy. `make bench` regenerates the reference
-# after a deliberate perf change.
-# Benchmark regression gate: re-run the suite once, then apply both
-# gates to the same output — the trajectory diff (bsbench -against,
-# 15% alloc / 100% time tolerance) and the absolute allocation budgets
-# (bsprof -check against alloc.budgets). The run is saved to a temp
-# file so one bench pass feeds both gates.
+# Benchmark regression gate: run the suite once, then apply both gates to
+# the same output — the trajectory diff (bsbench -against latest, which
+# resolves to the newest checked-in BENCH_*.json; 15% alloc / 100% time
+# tolerance) and the absolute allocation budgets (bsprof -check against
+# alloc.budgets). The run is saved to a temp file so one bench pass feeds
+# both gates. `make bench` regenerates the reference after a deliberate
+# perf change, and the latest-resolution retargets this gate on its own.
 bench-check:
 	@tmp=$$(mktemp); \
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . > $$tmp || { cat $$tmp; rm -f $$tmp; exit 1; }; \
-	$(GO) run ./cmd/bsbench -against BENCH_PR5.json < $$tmp || { rm -f $$tmp; exit 1; }; \
+	$(GO) run ./cmd/bsbench -against latest < $$tmp || { rm -f $$tmp; exit 1; }; \
 	$(GO) run ./cmd/bsprof -check -budgets alloc.budgets -bench $$tmp || { rm -f $$tmp; exit 1; }; \
 	rm -f $$tmp
 

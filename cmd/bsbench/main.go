@@ -15,12 +15,25 @@
 //
 //	go test -run '^$' -bench . -benchmem . | bsbench -against BENCH_PR5.json
 //
+// The special value `-against latest` resolves to the newest checked-in
+// BENCH_*.json (highest trailing number, so BENCH_PR10 beats BENCH_PR9),
+// excluding any file the same run writes with -o. The Makefile gates use
+// it so recording a new trajectory automatically retargets the diff.
+//
 // Allocation metrics (B/op, allocs/op) gate at -tolerance (default 15%):
 // they are near-deterministic, so a breach is a real regression. Wall
 // time gates at the looser -time-tolerance (default 100%), loose enough
 // that shared-runner noise does not fail CI but a genuine blow-up does.
 // Benchmarks present on only one side are never silently dropped: each
 // is logged, and the summary line carries the skip count.
+//
+// Relative tolerances are meaningless for tiny benchmarks: a pooled hot
+// path that allocates 12 KB/op one run and 48 KB/op the next (scratch
+// warm-up landed on its op) has "regressed 300%" while the absolute
+// movement is noise at dataset scale. Deltas below the absolute noise
+// floors — -min-bytes-delta (1 MiB), -min-allocs-delta (512),
+// -min-ns-delta (1 s) — are therefore ignored; alloc.budgets still
+// bounds every small benchmark absolutely.
 package main
 
 import (
@@ -29,7 +42,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 
 	"dnsbackscatter/internal/benchparse"
 )
@@ -47,11 +63,18 @@ func (r regression) String() string {
 		r.name, r.metric, (r.ratio-1)*100, r.before, r.after, r.allowed*100)
 }
 
+// floors holds the per-metric absolute deltas below which a relative
+// regression is treated as noise.
+type floors struct {
+	bytes, allocs, ns float64
+}
+
 // compare diffs current against a reference trajectory. Benchmarks
 // present on only one side are reported in skipped (renames and new
 // benchmarks are not regressions); shared ones contribute a regression
-// per metric that grew beyond its tolerance.
-func compare(reference, current []benchparse.Result, tolerance, timeTolerance float64) (regs []regression, skipped []string, shared int) {
+// per metric that grew beyond its tolerance AND past the metric's
+// absolute noise floor.
+func compare(reference, current []benchparse.Result, tolerance, timeTolerance float64, fl floors) (regs []regression, skipped []string, shared int) {
 	ref := make(map[string]benchparse.Result, len(reference))
 	for _, r := range reference {
 		ref[r.Name] = r
@@ -65,17 +88,17 @@ func compare(reference, current []benchparse.Result, tolerance, timeTolerance fl
 			continue
 		}
 		shared++
-		check := func(metric string, before, after, allowed float64) {
-			if before <= 0 {
+		check := func(metric string, before, after, allowed, floor float64) {
+			if before <= 0 || after-before < floor {
 				return
 			}
 			if ratio := after / before; ratio > 1+allowed {
 				regs = append(regs, regression{cur.Name, metric, before, after, ratio, allowed})
 			}
 		}
-		check("ns/op", base.NsPerOp, cur.NsPerOp, timeTolerance)
-		check("B/op", base.BytesPerOp, cur.BytesPerOp, tolerance)
-		check("allocs/op", float64(base.AllocsPerOp), float64(cur.AllocsPerOp), tolerance)
+		check("ns/op", base.NsPerOp, cur.NsPerOp, timeTolerance, fl.ns)
+		check("B/op", base.BytesPerOp, cur.BytesPerOp, tolerance, fl.bytes)
+		check("allocs/op", float64(base.AllocsPerOp), float64(cur.AllocsPerOp), tolerance, fl.allocs)
 	}
 	for _, r := range reference {
 		if !seen[r.Name] {
@@ -84,6 +107,49 @@ func compare(reference, current []benchparse.Result, tolerance, timeTolerance fl
 	}
 	sort.Strings(skipped)
 	return regs, skipped, shared
+}
+
+// trailingNum extracts the number a trajectory filename ends with
+// ("BENCH_PR10.json" -> 10); -1 when there is none, so numbered files
+// always outrank unnumbered ones.
+func trailingNum(path string) int {
+	s := strings.TrimSuffix(filepath.Base(path), ".json")
+	i := len(s)
+	for i > 0 && s[i-1] >= '0' && s[i-1] <= '9' {
+		i--
+	}
+	if i == len(s) {
+		return -1
+	}
+	n, err := strconv.Atoi(s[i:])
+	if err != nil {
+		return -1
+	}
+	return n
+}
+
+// latestTrajectory resolves "-against latest" to the newest BENCH_*.json
+// in dir — highest trailing number first, lexical order as tiebreak —
+// skipping exclude (the file this run writes with -o, which would
+// otherwise diff the run against itself).
+func latestTrajectory(dir, exclude string) (string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	best, bestN := "", -1
+	for _, m := range matches {
+		if exclude != "" && filepath.Base(m) == filepath.Base(exclude) {
+			continue
+		}
+		if n := trailingNum(m); n > bestN || (n == bestN && m > best) {
+			best, bestN = m, n
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("no prior BENCH_*.json trajectory in %s", dir)
+	}
+	return best, nil
 }
 
 func main() {
@@ -98,8 +164,20 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	against := fs.String("against", "", "reference trajectory JSON to diff the current run against; regressions beyond tolerance exit nonzero")
 	tolerance := fs.Float64("tolerance", 0.15, "allowed fractional growth in B/op and allocs/op before -against fails")
 	timeTolerance := fs.Float64("time-tolerance", 1.0, "allowed fractional growth in ns/op before -against fails (loose: wall time is noisy)")
+	minBytes := fs.Float64("min-bytes-delta", 1<<20, "absolute B/op growth below which a relative regression is noise")
+	minAllocs := fs.Float64("min-allocs-delta", 512, "absolute allocs/op growth below which a relative regression is noise")
+	minNs := fs.Float64("min-ns-delta", 1e9, "absolute ns/op growth below which a relative regression is noise")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *against == "latest" {
+		p, err := latestTrajectory(".", *out)
+		if err != nil {
+			fmt.Fprintln(stderr, "bsbench:", err)
+			return 2
+		}
+		*against = p
+		fmt.Fprintf(stderr, "bsbench: comparing against %s\n", p)
 	}
 
 	var results []benchparse.Result
@@ -144,7 +222,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "bsbench:", err)
 		return 2
 	}
-	regs, skipped, shared := compare(reference, results, *tolerance, *timeTolerance)
+	regs, skipped, shared := compare(reference, results, *tolerance, *timeTolerance,
+		floors{bytes: *minBytes, allocs: *minAllocs, ns: *minNs})
 	for _, s := range skipped {
 		fmt.Fprintln(stderr, "bsbench: skipped:", s)
 	}

@@ -40,7 +40,7 @@ func TestCompare(t *testing.T) {
 		{Name: "BenchmarkA", NsPerOp: 1100, BytesPerOp: 1100, AllocsPerOp: 110}, // +10%: inside 15%
 		{Name: "BenchmarkNew", NsPerOp: 1, BytesPerOp: 1, AllocsPerOp: 1},
 	}
-	regs, skipped, shared := compare(refResults(), current, 0.15, 1.0)
+	regs, skipped, shared := compare(refResults(), current, 0.15, 1.0, floors{})
 	if len(regs) != 0 {
 		t.Fatalf("within-tolerance run flagged: %v", regs)
 	}
@@ -50,13 +50,30 @@ func TestCompare(t *testing.T) {
 
 	current[0].BytesPerOp = 1200 // +20% B/op
 	current[0].NsPerOp = 2500    // +150% ns/op, past even the loose gate
-	regs, _, _ = compare(refResults(), current, 0.15, 1.0)
+	regs, _, _ = compare(refResults(), current, 0.15, 1.0, floors{})
 	if len(regs) != 2 {
 		t.Fatalf("got %d regressions, want 2 (B/op and ns/op): %v", len(regs), regs)
 	}
 	msg := regs[0].String() + regs[1].String()
 	if !strings.Contains(msg, "B/op") || !strings.Contains(msg, "ns/op") {
 		t.Fatalf("regression report missing metrics: %s", msg)
+	}
+}
+
+// TestCompareNoiseFloors pins the absolute floors: a huge relative jump
+// whose absolute delta is tiny (pooled-scratch warm-up noise) passes,
+// while the same relative jump past the floor still fails.
+func TestCompareNoiseFloors(t *testing.T) {
+	ref := []benchparse.Result{{Name: "BenchmarkTiny", NsPerOp: 1000, BytesPerOp: 12000, AllocsPerOp: 70}}
+	cur := []benchparse.Result{{Name: "BenchmarkTiny", NsPerOp: 500000, BytesPerOp: 49000, AllocsPerOp: 180}}
+	fl := floors{bytes: 1 << 20, allocs: 512, ns: 1e9}
+	if regs, _, _ := compare(ref, cur, 0.15, 1.0, fl); len(regs) != 0 {
+		t.Fatalf("sub-floor deltas flagged: %v", regs)
+	}
+	cur[0].BytesPerOp = 12000 + 2<<20 // past the byte floor and far past 15%
+	regs, _, _ := compare(ref, cur, 0.15, 1.0, fl)
+	if len(regs) != 1 || regs[0].metric != "B/op" {
+		t.Fatalf("past-floor regression not flagged: %v", regs)
 	}
 }
 
@@ -93,8 +110,10 @@ func TestRunAgainst(t *testing.T) {
 		t.Errorf("stderr lacks the all-clear: %s", stderr)
 	}
 
+	// The toy numbers sit under the default noise floors, so pin the
+	// floor to zero to exercise the relative gate itself.
 	regressed := strings.Replace(benchOutput, "1000 B/op", "2000 B/op", 1)
-	code, _, stderr = runBsbench(t, regressed, "-against", refPath)
+	code, _, stderr = runBsbench(t, regressed, "-against", refPath, "-min-bytes-delta", "0")
 	if code != 1 {
 		t.Fatalf("exit %d on regressed run, want 1; stderr=%s", code, stderr)
 	}
@@ -105,6 +124,35 @@ func TestRunAgainst(t *testing.T) {
 	code, _, stderr = runBsbench(t, benchOutput, "-against", filepath.Join(dir, "missing.json"))
 	if code != 2 {
 		t.Fatalf("exit %d on missing reference, want 2; stderr=%s", code, stderr)
+	}
+}
+
+// TestLatestTrajectory pins "-against latest" resolution: numeric order
+// beats lexical (PR10 > PR9), the -o file is excluded, and an empty dir
+// is an error rather than a silent pass.
+func TestLatestTrajectory(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_PR9.json", "BENCH_PR10.json", "BENCH_PR2.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("[]"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := latestTrajectory(dir, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(got) != "BENCH_PR10.json" {
+		t.Fatalf("latest = %s, want BENCH_PR10.json", got)
+	}
+	got, err = latestTrajectory(dir, "BENCH_PR10.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(got) != "BENCH_PR9.json" {
+		t.Fatalf("latest excluding PR10 = %s, want BENCH_PR9.json", got)
+	}
+	if _, err := latestTrajectory(t.TempDir(), ""); err == nil {
+		t.Fatal("empty dir resolved a trajectory")
 	}
 }
 

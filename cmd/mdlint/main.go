@@ -16,6 +16,11 @@
 //     (contain a slash or end in .md/.json/.go); command lines, globs,
 //     and code spans with spaces are skipped.
 //
+// It also enforces hot-path documentation coverage: every function or
+// type annotated //bslint:hotpath in the Go sources must be mentioned by
+// name in PERFORMANCE.md (methods as Receiver.Name), so the allocation
+// playbook cannot drift from the set of paths the hotalloc lint guards.
+//
 // Exit status 1 if any reference is broken.
 package main
 
@@ -109,6 +114,81 @@ func checkFile(path string) ([]string, error) {
 	return broken, nil
 }
 
+var (
+	// hotFuncRe splits a func declaration into optional receiver type
+	// and name; hotTypeRe matches annotated type declarations.
+	hotFuncRe = regexp.MustCompile(`^func (?:\((?:\w+ )?\*?(\w+)\) )?(\w+)`)
+	hotTypeRe = regexp.MustCompile(`^type (\w+)`)
+)
+
+// hotpathName extracts the documented name of the declaration a
+// //bslint:hotpath comment annotates: Receiver.Name for methods, the
+// bare identifier for functions and types, "" for anything else.
+func hotpathName(decl string) string {
+	if m := hotFuncRe.FindStringSubmatch(decl); m != nil {
+		if m[1] != "" {
+			return m[1] + "." + m[2]
+		}
+		return m[2]
+	}
+	if m := hotTypeRe.FindStringSubmatch(decl); m != nil {
+		return m[1]
+	}
+	return ""
+}
+
+// checkHotpaths walks the Go sources under roots and reports every
+// //bslint:hotpath declaration whose name PERFORMANCE.md (doc) does not
+// mention. Test files and testdata are out of scope.
+func checkHotpaths(roots []string, doc string) ([]string, error) {
+	text, err := os.ReadFile(doc)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w (every //bslint:hotpath function must be documented there)", doc, err)
+	}
+	var missing []string
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				if name := d.Name(); name == ".git" || name == "testdata" {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			lines := strings.Split(string(data), "\n")
+			for i, line := range lines {
+				if strings.TrimSpace(line) != "//bslint:hotpath" {
+					continue
+				}
+				for j := i + 1; j < len(lines); j++ {
+					t := strings.TrimSpace(lines[j])
+					if t == "" || strings.HasPrefix(t, "//") {
+						continue
+					}
+					if name := hotpathName(t); name != "" && !strings.Contains(string(text), name) {
+						missing = append(missing, fmt.Sprintf("%s:%d: hotpath %s not mentioned in %s", path, j+1, name, doc))
+					}
+					break
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return missing, nil
+}
+
 func main() {
 	roots := os.Args[1:]
 	if len(roots) == 0 {
@@ -147,6 +227,15 @@ func main() {
 			fmt.Println(msg)
 			bad++
 		}
+	}
+	missing, err := checkHotpaths(roots, "PERFORMANCE.md")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mdlint:", err)
+		os.Exit(1)
+	}
+	for _, msg := range missing {
+		fmt.Println(msg)
+		bad++
 	}
 	if bad > 0 {
 		fmt.Fprintf(os.Stderr, "mdlint: %d broken reference(s) in %d file(s)\n", bad, len(files))

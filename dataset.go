@@ -82,6 +82,12 @@ type DatasetSpec struct {
 	// time), so the sampled subset — and the rendered JSONL — is
 	// byte-identical at any worker count.
 	Trace int
+
+	// NoReuse disables the extraction pipeline's scratch reuse (columnar
+	// shard buffers, vector scratch pools), allocating fresh memory per
+	// batch instead. Output is byte-identical either way; the flag exists
+	// so invariance tests can prove it. Production runs leave it false.
+	NoReuse bool
 }
 
 // Scaled returns a copy with populations and rates multiplied by f — the
@@ -102,6 +108,14 @@ func (s DatasetSpec) WithParallelism(n int) DatasetSpec {
 // "profile@seed" fault spec (see Faults).
 func (s DatasetSpec) WithFaults(spec string) DatasetSpec {
 	s.Faults = spec
+	return s
+}
+
+// WithoutScratchReuse returns a copy whose extraction pipeline allocates
+// fresh buffers per batch instead of reusing scratch (see NoReuse).
+// Output bytes are identical; only allocation behavior changes.
+func (s DatasetSpec) WithoutScratchReuse() DatasetSpec {
+	s.NoReuse = true
 	return s
 }
 
@@ -382,11 +396,11 @@ func BuildInstrumented(spec DatasetSpec, reg *obs.Registry, tr *trace.Tracer, ac
 	d := &Dataset{Spec: spec, World: w, obs: reg, tracer: tr, acct: acct}
 	switch spec.Authority {
 	case "jp":
-		d.Records = w.National["jp"].Records
+		d.Records = w.National["jp"].Records()
 	case "b-root":
-		d.Records = w.BRoot.Records
+		d.Records = w.BRoot.Records()
 	case "m-root":
-		d.Records = w.MRoot.Records
+		d.Records = w.MRoot.Records()
 	default:
 		panic(fmt.Sprintf("backscatter: unknown authority %q", spec.Authority))
 	}
@@ -396,6 +410,7 @@ func BuildInstrumented(spec DatasetSpec, reg *obs.Registry, tr *trace.Tracer, ac
 	d.Extractor.Tracer = tr
 	d.Extractor.Acct = acct
 	d.Extractor.Workers = spec.Workers
+	d.Extractor.NoReuse = spec.NoReuse
 	if spec.MinQueriers > 0 {
 		d.Extractor.MinQueriers = spec.MinQueriers
 	}

@@ -68,17 +68,41 @@ func (s *Snapshot) Ranked() []ipaddr.Addr {
 // aligned.
 func SnapIntervals(recs []dnslog.Record, x *features.Extractor, start simtime.Time, total, dur simtime.Duration) []*Snapshot {
 	n := int((total + dur - 1) / dur)
-	buckets := make([][]dnslog.Record, n)
-	for _, r := range recs {
+	// Two passes — count, prefix-sum, fill — partition the records into
+	// one exact-size backing array instead of n growing appends. Fill
+	// order follows the stream, so each bucket keeps the per-pair time
+	// order dedup depends on.
+	counts := make([]int, n+1)
+	bucketOf := func(r *dnslog.Record) int {
 		i := int(r.Time.Sub(start) / dur)
 		if i < 0 || i >= n {
-			continue
+			return -1
 		}
-		buckets[i] = append(buckets[i], r)
+		return i
+	}
+	total2 := 0
+	for i := range recs {
+		if b := bucketOf(&recs[i]); b >= 0 {
+			counts[b]++
+			total2++
+		}
+	}
+	offs := make([]int, n+1)
+	for i := 0; i < n; i++ {
+		offs[i+1] = offs[i] + counts[i]
+	}
+	buf := make([]dnslog.Record, total2)
+	pos := make([]int, n)
+	copy(pos, offs[:n])
+	for i := range recs {
+		if b := bucketOf(&recs[i]); b >= 0 {
+			buf[pos[b]] = recs[i]
+			pos[b]++
+		}
 	}
 	out := make([]*Snapshot, n)
-	for i, b := range buckets {
-		out[i] = Snap(b, x, start.Add(simtime.Duration(i)*dur), dur)
+	for i := 0; i < n; i++ {
+		out[i] = Snap(buf[offs[i]:offs[i+1]], x, start.Add(simtime.Duration(i)*dur), dur)
 	}
 	return out
 }

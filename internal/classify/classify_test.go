@@ -39,7 +39,7 @@ func getFixture(t *testing.T) *fixture {
 
 	x := features.NewExtractor(w.Geo, w.QuerierName)
 	x.MinQueriers = 10 // downscaled world, downscaled threshold
-	snap := Snap(w.National["jp"].Records, x, cfg.Start, cfg.Duration)
+	snap := Snap(w.National["jp"].Records(), x, cfg.Start, cfg.Duration)
 	if len(snap.Vectors) < 30 {
 		t.Fatalf("fixture too small: %d analyzable originators", len(snap.Vectors))
 	}
@@ -174,7 +174,7 @@ func TestMajorityVotesPipeline(t *testing.T) {
 func TestSnapIntervals(t *testing.T) {
 	f := getFixture(t)
 	cfg := f.w.Cfg
-	snaps := SnapIntervals(f.w.National["jp"].Records, f.x, cfg.Start, cfg.Duration, simtime.Day)
+	snaps := SnapIntervals(f.w.National["jp"].Records(), f.x, cfg.Start, cfg.Duration, simtime.Day)
 	if len(snaps) != 2 {
 		t.Fatalf("%d snapshots, want 2", len(snaps))
 	}
@@ -202,7 +202,7 @@ func TestStrategyNames(t *testing.T) {
 func TestStrategiesProducePoints(t *testing.T) {
 	f := getFixture(t)
 	cfg := f.w.Cfg
-	snaps := SnapIntervals(f.w.National["jp"].Records, f.x, cfg.Start, cfg.Duration, simtime.Day)
+	snaps := SnapIntervals(f.w.National["jp"].Records(), f.x, cfg.Start, cfg.Duration, simtime.Day)
 	for _, strat := range []Strategy{TrainOnce, RetrainDaily, AutoGrow} {
 		run := &StrategyRun{Pipeline: NewPipeline(), Strategy: strat, CurationIndex: 0}
 		pts := run.Run(snaps, f.labels, f.labels, rng.New(3))
@@ -227,7 +227,7 @@ func TestStrategiesProducePoints(t *testing.T) {
 func TestManualRecurationStrategy(t *testing.T) {
 	f := getFixture(t)
 	cfg := f.w.Cfg
-	snaps := SnapIntervals(f.w.National["jp"].Records, f.x, cfg.Start, cfg.Duration, simtime.Day)
+	snaps := SnapIntervals(f.w.National["jp"].Records(), f.x, cfg.Start, cfg.Duration, simtime.Day)
 	cur := groundtruth.DefaultCuration()
 	cur.LabelNoise = 0
 	run := &StrategyRun{
@@ -249,7 +249,7 @@ func TestManualRecurationStrategy(t *testing.T) {
 func TestCountReappearances(t *testing.T) {
 	f := getFixture(t)
 	cfg := f.w.Cfg
-	snaps := SnapIntervals(f.w.National["jp"].Records, f.x, cfg.Start, cfg.Duration, simtime.Day)
+	snaps := SnapIntervals(f.w.National["jp"].Records(), f.x, cfg.Start, cfg.Duration, simtime.Day)
 	counts := CountReappearances(snaps, f.labels)
 	if len(counts) != len(snaps) {
 		t.Fatal("length mismatch")

@@ -67,12 +67,14 @@ type Writer struct {
 	bw    *bufio.Writer
 	buf   []byte
 	frame []byte
+	msg   dnswire.Message  // query scratch, rebuilt per frame
+	enc   *dnswire.Encoder // reused compression table
 	n     int
 }
 
 // NewWriter returns a capture writer.
 func NewWriter(w io.Writer) *Writer {
-	return &Writer{bw: bufio.NewWriterSize(w, 1<<16)}
+	return &Writer{bw: bufio.NewWriterSize(w, 1<<16), enc: dnswire.NewEncoder()}
 }
 
 // Write encodes one observed query as a frame.
@@ -90,9 +92,9 @@ func (w *Writer) Write(r dnslog.Record) error {
 	hdr[15] = 0 // reserved
 	w.frame = append(w.frame, hdr[:]...)
 
-	msg := dnswire.NewPTRQuery(uint16(w.n), r.Originator.ReverseName())
+	w.msg.SetPTRQuery(uint16(w.n), r.Originator.ReverseName())
 	var err error
-	w.frame, err = msg.Encode(w.frame)
+	w.frame, err = w.enc.Encode(&w.msg, w.frame)
 	if err != nil {
 		return fmt.Errorf("dnscap: %w", err)
 	}

@@ -1,0 +1,81 @@
+package dnslog
+
+// bufChunk is the Buffer chunk size: 4096 records ≈ 256 KB per chunk,
+// large enough to amortize chunk overhead, small enough that the final
+// partial chunk wastes little.
+const bufChunk = 4096
+
+// Buffer is an append-only record collector that grows in fixed-size
+// chunks instead of reallocating one contiguous slice. A contiguous
+// append loop allocates a geometric series of dead backing arrays —
+// roughly 5× the final size in total — where the chunked buffer
+// allocates each record's storage exactly once. Sensors in dnssim
+// collect into a Buffer; consumers either walk it in place with Range
+// or pay one exact-size allocation with Flatten.
+//
+// The zero value is ready to use. A Buffer is not safe for concurrent
+// use.
+type Buffer struct {
+	chunks [][]Record
+	cur    int // index of the chunk currently being filled
+	n      int
+}
+
+// Append adds one record.
+func (b *Buffer) Append(r Record) {
+	if b.cur >= len(b.chunks) {
+		b.chunks = append(b.chunks, make([]Record, 0, bufChunk))
+	}
+	c := append(b.chunks[b.cur], r)
+	b.chunks[b.cur] = c
+	if len(c) == bufChunk {
+		b.cur++
+	}
+	b.n++
+}
+
+// Len returns the number of records appended since the last Reset.
+func (b *Buffer) Len() int { return b.n }
+
+// Range calls fn for each record with index >= from, in append order.
+// Every full chunk holds exactly bufChunk records, so from maps straight
+// to a chunk and offset.
+func (b *Buffer) Range(from int, fn func(Record)) {
+	if from < 0 {
+		from = 0
+	}
+	for ci := from / bufChunk; ci <= b.cur && ci < len(b.chunks); ci++ {
+		c := b.chunks[ci]
+		lo := 0
+		if ci == from/bufChunk {
+			lo = from % bufChunk
+		}
+		if lo > len(c) {
+			continue
+		}
+		for _, r := range c[lo:] {
+			fn(r)
+		}
+	}
+}
+
+// Flatten copies the records into one new contiguous slice — a single
+// exact-size allocation. The buffer is unchanged.
+func (b *Buffer) Flatten() []Record {
+	out := make([]Record, 0, b.n)
+	for ci := 0; ci <= b.cur && ci < len(b.chunks); ci++ {
+		out = append(out, b.chunks[ci]...)
+	}
+	return out
+}
+
+// Reset drops the records but keeps every allocated chunk for reuse, so
+// interval-by-interval collection stops allocating once the busiest
+// interval has been seen.
+func (b *Buffer) Reset() {
+	for i := range b.chunks {
+		b.chunks[i] = b.chunks[i][:0]
+	}
+	b.cur = 0
+	b.n = 0
+}

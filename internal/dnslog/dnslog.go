@@ -17,6 +17,7 @@ import (
 	"strconv"
 	"strings"
 
+	"dnsbackscatter/internal/intern"
 	"dnsbackscatter/internal/ipaddr"
 	"dnsbackscatter/internal/simtime"
 )
@@ -114,17 +115,21 @@ func (w *Writer) Count() int { return w.n }
 // Flush flushes buffered output.
 func (w *Writer) Flush() error { return w.bw.Flush() }
 
-// Reader streams records from an io.Reader.
+// Reader streams records from an io.Reader. Authority strings are
+// interned through a per-reader table: every record from the same sensor
+// shares one backing string instead of each keeping a substring that pins
+// its whole source line in memory.
 type Reader struct {
-	sc   *bufio.Scanner
-	line int
+	sc    *bufio.Scanner
+	line  int
+	names *intern.Table
 }
 
 // NewReader returns a log reader over r.
 func NewReader(r io.Reader) *Reader {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
-	return &Reader{sc: sc}
+	return &Reader{sc: sc, names: intern.New(0)}
 }
 
 // Read returns the next record, or io.EOF when the stream is exhausted.
@@ -139,6 +144,7 @@ func (r *Reader) Read() (Record, error) {
 		if err != nil {
 			return Record{}, fmt.Errorf("line %d: %w", r.line, err)
 		}
+		rec.Authority = r.names.Intern(rec.Authority)
 		return rec, nil
 	}
 	if err := r.sc.Err(); err != nil {

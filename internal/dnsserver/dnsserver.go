@@ -276,6 +276,8 @@ func (s *Server) serve() {
 	buf := make([]byte, 4096)
 	out := make([]byte, 0, 512)
 	var msg dnswire.Message
+	enc := dnswire.AcquireEncoder()
+	defer dnswire.ReleaseEncoder(enc)
 	for {
 		n, peer, err := s.conn.ReadFromUDP(buf)
 		if err != nil {
@@ -370,7 +372,7 @@ func (s *Server) serve() {
 			continue // unreachable-authority simulation: stay silent
 		}
 		out = out[:0]
-		out, err = resp.Encode(out)
+		out, err = enc.Encode(resp, out)
 		if err != nil {
 			continue
 		}
@@ -445,7 +447,10 @@ func (s *Server) serveTCPConn(conn net.Conn) {
 	hdr := make([]byte, 2)
 	buf := make([]byte, 0, 512)
 	out := make([]byte, 0, 512)
+	body := make([]byte, 0, 512)
 	var msg dnswire.Message
+	enc := dnswire.AcquireEncoder()
+	defer dnswire.ReleaseEncoder(enc)
 	for {
 		if err := conn.SetReadDeadline(simtime.WallDeadline(5 * time.Second)); err != nil {
 			return
@@ -501,7 +506,8 @@ func (s *Server) serveTCPConn(conn net.Conn) {
 		}
 		// Encode standalone, then frame: name-compression offsets are
 		// absolute buffer positions, so the body must start at offset 0.
-		body, err := resp.Encode(nil)
+		var err error
+		body, err = enc.Encode(resp, body[:0])
 		if err != nil {
 			return
 		}

@@ -369,7 +369,10 @@ func (c *Client) queryPTR(serverAddr string, addr ipaddr.Addr) (*dnswire.Message
 	defer conn.Close()
 
 	id := nextQueryID(c)
-	query, err := dnswire.NewPTRQuery(id, addr.ReverseName()).Encode(nil)
+	qm := dnswire.AcquireMessage()
+	qm.SetPTRQuery(id, addr.ReverseName())
+	query, err := qm.Encode(nil)
+	dnswire.ReleaseMessage(qm)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -162,8 +162,8 @@ type Sensor struct {
 	// it are not recorded (the capture stopped).
 	End simtime.Time
 
-	n       uint64
-	Records []dnslog.Record
+	n   uint64
+	buf dnslog.Buffer
 }
 
 // NewSensor returns an in-memory sensor. sample < 1 is treated as 1.
@@ -188,7 +188,7 @@ func (s *Sensor) Observe(now simtime.Time, orig, querier ipaddr.Addr, rcode uint
 	if s.Sample > 1 && s.n%uint64(s.Sample) != 0 {
 		return false
 	}
-	s.Records = append(s.Records, dnslog.Record{
+	s.buf.Append(dnslog.Record{
 		Time:       now,
 		Originator: orig,
 		Querier:    querier,
@@ -202,9 +202,23 @@ func (s *Sensor) Observe(now simtime.Time, orig, querier ipaddr.Addr, rcode uint
 // sampling.
 func (s *Sensor) Seen() uint64 { return s.n }
 
-// Reset drops collected records but keeps counters, so long simulations can
-// drain sensors interval by interval.
-func (s *Sensor) Reset() { s.Records = s.Records[:0] }
+// Len returns the number of records kept so far.
+func (s *Sensor) Len() int { return s.buf.Len() }
+
+// Records returns the kept records as one contiguous slice — a single
+// exact-size copy out of the sensor's chunked buffer. Call it once per
+// drain, not per record.
+func (s *Sensor) Records() []dnslog.Record { return s.buf.Flatten() }
+
+// Range calls fn for each kept record with index >= from, in arrival
+// order, without copying. Incremental consumers (scan verification)
+// remember Len() as their base and range from it.
+func (s *Sensor) Range(from int, fn func(dnslog.Record)) { s.buf.Range(from, fn) }
+
+// Reset drops collected records but keeps counters and chunk storage, so
+// long simulations can drain sensors interval by interval without
+// reallocating.
+func (s *Sensor) Reset() { s.buf.Reset() }
 
 // Resolver is one querier's recursive resolution state.
 type Resolver struct {
@@ -262,9 +276,26 @@ type Hierarchy struct {
 	national map[string]*Sensor // country code -> sensor
 	finals   map[uint16]*Sensor // /16 -> sensor (instrumented final zones)
 
+	// profCache memoizes Profile per originator. A profile is "fixed by
+	// whoever runs its final authority" — a pure function of the address
+	// for the simulation's lifetime — so caching only removes the repeat
+	// string construction inside ProfileFuncs, never changes an answer.
+	profCache map[ipaddr.Addr]OriginatorProfile
+
 	faults *faults.Plan
 	m      *hierMetrics
 	tracer *trace.Tracer
+}
+
+// profile returns the originator's cached profile, consulting the
+// ProfileFunc once per distinct address.
+func (h *Hierarchy) profile(orig ipaddr.Addr) OriginatorProfile {
+	if p, ok := h.profCache[orig]; ok {
+		return p
+	}
+	p := h.Profile(orig)
+	h.profCache[orig] = p
+	return p
 }
 
 // SetTracer installs (or, with nil, removes) the end-to-end lookup
@@ -389,11 +420,12 @@ func NewHierarchy(g *geo.Registry, cfg Config, profile ProfileFunc) *Hierarchy {
 		profile = DefaultProfile
 	}
 	return &Hierarchy{
-		Geo:      g,
-		Cfg:      cfg,
-		Profile:  profile,
-		national: make(map[string]*Sensor),
-		finals:   make(map[uint16]*Sensor),
+		Geo:       g,
+		Cfg:       cfg,
+		Profile:   profile,
+		national:  make(map[string]*Sensor),
+		finals:    make(map[uint16]*Sensor),
+		profCache: make(map[ipaddr.Addr]OriginatorProfile),
 	}
 }
 
@@ -622,7 +654,7 @@ func (h *Hierarchy) ResolveTraced(r *Resolver, orig ipaddr.Addr, now simtime.Tim
 	}
 
 	// Final authority query for the PTR record itself.
-	p := h.Profile(orig)
+	p := h.profile(orig)
 	rcode := dnswire.RCodeNoError
 	if !p.HasName {
 		rcode = dnswire.RCodeNXDomain

@@ -107,7 +107,7 @@ func TestServFailStormObserved(t *testing.T) {
 		t.Fatal("no SERVFAILs injected in burst window")
 	}
 	sawServFail := false
-	for _, rec := range final.Records {
+	for _, rec := range final.Records() {
 		if rec.RCode == dnswire.RCodeServFail {
 			sawServFail = true
 			break
@@ -156,12 +156,12 @@ func TestFaultedResolveDeterministic(t *testing.T) {
 	c1, f1 := run("chaos@7")
 	c2, f2 := run("chaos@7")
 	c3, _ := run("chaos@8")
-	if len(f1.Records) != len(f2.Records) {
-		t.Fatalf("same seed: %d vs %d records", len(f1.Records), len(f2.Records))
+	if len(f1.Records()) != len(f2.Records()) {
+		t.Fatalf("same seed: %d vs %d records", len(f1.Records()), len(f2.Records()))
 	}
-	for i := range f1.Records {
-		if f1.Records[i] != f2.Records[i] {
-			t.Fatalf("same seed diverged at record %d: %+v vs %+v", i, f1.Records[i], f2.Records[i])
+	for i := range f1.Records() {
+		if f1.Records()[i] != f2.Records()[i] {
+			t.Fatalf("same seed diverged at record %d: %+v vs %+v", i, f1.Records()[i], f2.Records()[i])
 		}
 	}
 	for i := range c1 {

@@ -54,7 +54,7 @@ func TestColdResolverHitsAllLevels(t *testing.T) {
 	if final.Seen() != 1 {
 		t.Errorf("final sensor saw %d", final.Seen())
 	}
-	rec := final.Records[0]
+	rec := final.Records()[0]
 	if rec.Originator != orig || rec.Querier != r.Addr || rec.RCode != dnswire.RCodeNoError {
 		t.Errorf("record = %+v", rec)
 	}
@@ -111,8 +111,8 @@ func TestNXDomainNegativeCaching(t *testing.T) {
 		})
 	r := newResolver(0, 0)
 	h.Resolve(r, orig, 0)
-	if final.Records[0].RCode != dnswire.RCodeNXDomain {
-		t.Errorf("rcode = %d, want NXDomain", final.Records[0].RCode)
+	if final.Records()[0].RCode != dnswire.RCodeNXDomain {
+		t.Errorf("rcode = %d, want NXDomain", final.Records()[0].RCode)
 	}
 	if n := h.Resolve(r, orig, 60); n != 0 {
 		t.Error("negative cache did not suppress repeat")
@@ -198,8 +198,8 @@ func TestSensorSampling(t *testing.T) {
 	if s.Seen() != 1000 {
 		t.Errorf("Seen = %d", s.Seen())
 	}
-	if len(s.Records) != 100 {
-		t.Errorf("sampled records = %d, want 100", len(s.Records))
+	if len(s.Records()) != 100 {
+		t.Errorf("sampled records = %d, want 100", len(s.Records()))
 	}
 }
 
@@ -210,11 +210,11 @@ func TestSensorSamplingDeterministic(t *testing.T) {
 		a.Observe(simtime.Time(i), ipaddr.Addr(i), 2, 0)
 		b.Observe(simtime.Time(i), ipaddr.Addr(i), 2, 0)
 	}
-	if len(a.Records) != len(b.Records) {
+	if len(a.Records()) != len(b.Records()) {
 		t.Fatal("sampling diverged")
 	}
-	for i := range a.Records {
-		if a.Records[i] != b.Records[i] {
+	for i := range a.Records() {
+		if a.Records()[i] != b.Records()[i] {
 			t.Fatal("sampled different records")
 		}
 	}
@@ -224,7 +224,7 @@ func TestSensorReset(t *testing.T) {
 	s := NewSensor("x", 1)
 	s.Observe(0, 1, 2, 0)
 	s.Reset()
-	if len(s.Records) != 0 || s.Seen() != 1 {
+	if len(s.Records()) != 0 || s.Seen() != 1 {
 		t.Error("Reset must clear records but keep counters")
 	}
 }

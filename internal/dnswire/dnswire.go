@@ -115,10 +115,18 @@ func (m *Message) Reset() {
 // NewPTRQuery builds the reverse query a querier sends for name (already in
 // 4.3.2.1.in-addr.arpa form) with the given transaction ID.
 func NewPTRQuery(id uint16, name string) *Message {
-	return &Message{
-		Header:    Header{ID: id, RD: true, QDCount: 1},
-		Questions: []Question{{Name: name, Type: TypePTR, Class: ClassIN}},
-	}
+	m := new(Message)
+	m.SetPTRQuery(id, name)
+	return m
+}
+
+// SetPTRQuery resets m in place to the reverse query NewPTRQuery would
+// build, reusing m's section slices. Callers on encode hot paths pair it
+// with AcquireMessage/ReleaseMessage to build queries without allocating.
+func (m *Message) SetPTRQuery(id uint16, name string) {
+	m.Reset()
+	m.Header = Header{ID: id, RD: true, QDCount: 1}
+	m.Questions = append(m.Questions, Question{Name: name, Type: TypePTR, Class: ClassIN})
 }
 
 // NewResponse builds a response to q with the given rcode. Answers may be
@@ -184,9 +192,28 @@ type encoder struct {
 // Section counts in the header are taken from the slice lengths, not the
 // Header fields, so callers cannot desynchronize them.
 //
+// Encode borrows a pooled Encoder for the call; loops that encode many
+// messages can hold one Encoder (AcquireEncoder) and call its Encode
+// method directly to skip even the pool round-trip. Output bytes are
+// identical either way.
+//
 //bslint:hotpath
 func (m *Message) Encode(dst []byte) ([]byte, error) {
-	e := encoder{buf: dst, offsets: make(map[string]int, 8)}
+	enc := AcquireEncoder()
+	out, err := enc.Encode(m, dst)
+	ReleaseEncoder(enc)
+	return out, err
+}
+
+// Encode appends the wire form of m to dst and returns the extended
+// slice, exactly as Message.Encode does. The encoder's compression table
+// is cleared and rebuilt per call, so output bytes never depend on what
+// the Encoder encoded before.
+//
+//bslint:hotpath
+func (enc *Encoder) Encode(m *Message, dst []byte) ([]byte, error) {
+	clear(enc.offsets)
+	e := encoder{buf: dst, offsets: enc.offsets}
 	h := m.Header
 	h.QDCount = uint16(len(m.Questions))
 	h.ANCount = uint16(len(m.Answers))

@@ -11,10 +11,13 @@
 package features
 
 import (
+	"cmp"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"strconv"
+	"sync"
 
 	"dnsbackscatter/internal/dnslog"
 	"dnsbackscatter/internal/geo"
@@ -126,6 +129,26 @@ type Extractor struct {
 	// are committed under the tracer lock and rendered as a sorted
 	// multiset, so output bytes never depend on worker interleaving.
 	Tracer *trace.Tracer
+	// NoReuse disables the columnar scratch buffers that Extract
+	// otherwise reuses across calls (per-shard aggregates, the record
+	// partition buffer, per-worker vector scratch). Output bytes are
+	// identical either way — reuse is an ops-only optimization — and the
+	// invariance tests set NoReuse to prove it. Leave false in
+	// production.
+	NoReuse bool
+
+	// scratch is the cross-call columnar state. An Extractor must not
+	// run Extract concurrently with itself (distinct Extractors are
+	// fine); the per-shard entries are touched by at most one worker per
+	// call because shards fan out by index.
+	scratch struct {
+		recs   []dnslog.Record
+		shards [extractShards]*shardScratch
+		work   []*originatorAgg
+		uq     []ipaddr.Addr
+		uas    []int
+		ucc    []string
+	}
 }
 
 // NewExtractor returns an extractor with the paper's defaults.
@@ -133,11 +156,20 @@ func NewExtractor(g *geo.Registry, nameOf NameFunc) *Extractor {
 	return &Extractor{Geo: g, NameOf: nameOf, MinQueriers: 20, DedupWindow: 30 * simtime.Second}
 }
 
-// originatorAgg accumulates one originator's interval state.
+// originatorAgg accumulates one originator's interval state. Queriers
+// and buckets collect raw (possibly repeated) observations columnar-style
+// during dedup; the filter stage sorts and compacts them in place, after
+// which queriers holds the sorted unique set and nq/nbuckets the unique
+// counts. The slices live in shard scratch and keep their capacity across
+// Extract calls.
 type originatorAgg struct {
+	orig     ipaddr.Addr
 	queries  int
-	queriers map[ipaddr.Addr]struct{}
-	buckets  map[int]struct{}
+	nq       int // unique queriers (valid after filter)
+	nbuckets int // unique 10-minute buckets (valid after filter)
+	kept     bool
+	queriers []ipaddr.Addr
+	buckets  []int
 	// refs are the traces whose records fed this aggregate (only
 	// populated when the extractor has a Tracer).
 	refs map[trace.ID]simtime.Time
@@ -158,14 +190,92 @@ func shardOf(a ipaddr.Addr) int {
 	return int(z % extractShards)
 }
 
-// shardAgg is one shard's dedup output: per-originator state plus the
-// shard's interval-level querier view.
-type shardAgg struct {
-	kept      int
-	aggs      map[ipaddr.Addr]*originatorAgg
-	queriers  map[ipaddr.Addr]struct{}
-	ases      map[int]struct{}
-	countries map[string]struct{}
+// shardScratch is one shard's dedup/filter state: an index from
+// originator to its slot in a flat aggregate column, the shard's deduper,
+// and the shard-level unique querier/AS/country views (sorted slices —
+// only their lengths feed the interval normalizers). Everything is
+// reused across Extract calls unless the extractor sets NoReuse.
+type shardScratch struct {
+	kept  int
+	idx   map[ipaddr.Addr]int32
+	aggs  []originatorAgg
+	dedup *dnslog.Deduper
+	addrs []ipaddr.Addr // shard-unique queriers (sorted)
+	asns  []int         // shard-unique ASNs (sorted)
+	ccs   []string      // shard-unique countries (sorted)
+}
+
+// reset readies the scratch for a new interval, keeping every map bucket
+// and slice capacity the previous interval grew.
+func (sh *shardScratch) reset(w simtime.Duration) {
+	sh.kept = 0
+	clear(sh.idx)
+	sh.aggs = sh.aggs[:0]
+	sh.dedup.Window = w
+	sh.dedup.Reset()
+	sh.addrs = sh.addrs[:0]
+	sh.asns = sh.asns[:0]
+	sh.ccs = sh.ccs[:0]
+}
+
+// agg returns the aggregate slot for orig, creating (or recycling) one on
+// first sight. Returned pointers are valid until the next agg call.
+func (sh *shardScratch) agg(orig ipaddr.Addr) *originatorAgg {
+	if i, ok := sh.idx[orig]; ok {
+		return &sh.aggs[i]
+	}
+	if len(sh.aggs) < cap(sh.aggs) {
+		sh.aggs = sh.aggs[:len(sh.aggs)+1] // recycle a slot, keeping its slice capacities
+	} else {
+		sh.aggs = append(sh.aggs, originatorAgg{})
+	}
+	a := &sh.aggs[len(sh.aggs)-1]
+	a.orig = orig
+	a.queries, a.nq, a.nbuckets = 0, 0, 0
+	a.kept = false
+	a.queriers = a.queriers[:0]
+	a.buckets = a.buckets[:0]
+	a.refs = nil
+	sh.idx[orig] = int32(len(sh.aggs) - 1)
+	return a
+}
+
+// shardFor hands out shard s's scratch, fresh when NoReuse is set or on
+// first use, reset otherwise.
+func (x *Extractor) shardFor(s int) *shardScratch {
+	if sh := x.scratch.shards[s]; sh != nil && !x.NoReuse {
+		sh.reset(x.DedupWindow)
+		return sh
+	}
+	sh := &shardScratch{
+		idx:   make(map[ipaddr.Addr]int32),
+		dedup: dnslog.NewDeduper(x.DedupWindow),
+	}
+	if !x.NoReuse {
+		x.scratch.shards[s] = sh
+	}
+	return sh
+}
+
+// recordBuf returns the shared partition backing array with room for n
+// records, growing (or, under NoReuse, allocating fresh) as needed.
+func (x *Extractor) recordBuf(n int) []dnslog.Record {
+	if x.NoReuse || cap(x.scratch.recs) < n {
+		buf := make([]dnslog.Record, n)
+		if !x.NoReuse {
+			x.scratch.recs = buf
+		}
+		return buf
+	}
+	return x.scratch.recs[:n]
+}
+
+// sortUniq sorts s and compacts adjacent duplicates in place, returning
+// the unique prefix. The deterministic total order doubles as the
+// iteration order downstream consumers see.
+func sortUniq[T cmp.Ordered](s []T) []T {
+	slices.Sort(s)
+	return slices.Compact(s)
 }
 
 // Extract computes vectors for every analyzable originator in recs, which
@@ -184,21 +294,39 @@ type shardAgg struct {
 func (x *Extractor) Extract(recs []dnslog.Record, start simtime.Time, dur simtime.Duration) []*Vector {
 	pool := parallel.Pool{Workers: x.Workers, Obs: x.Obs, Acct: x.Acct}
 
-	// Dedup stage: partition the stream by originator (stable, so each
-	// shard stays time-ordered per pair), then dedup and aggregate each
-	// shard independently.
+	// Dedup stage: partition the stream by originator into one shared
+	// backing array (count, prefix-sum, fill — stable, so each shard
+	// stays time-ordered per pair), then dedup and aggregate each shard
+	// independently into its reusable columnar scratch.
 	sp := x.Obs.StartSpan("dedup")
 	tok := x.Acct.Start("dedup")
-	parts := make([][]dnslog.Record, extractShards)
-	for _, r := range recs {
-		s := shardOf(r.Originator)
-		parts[s] = append(parts[s], r)
+	var counts, offs [extractShards]int
+	for i := range recs {
+		counts[shardOf(recs[i].Originator)]++
+	}
+	for s := 1; s < extractShards; s++ {
+		offs[s] = offs[s-1] + counts[s-1]
+	}
+	buf := x.recordBuf(len(recs))
+	var parts [extractShards][]dnslog.Record
+	{
+		pos := offs
+		for _, r := range recs {
+			s := shardOf(r.Originator)
+			buf[pos[s]] = r
+			pos[s]++
+		}
+		for s := 0; s < extractShards; s++ {
+			parts[s] = buf[offs[s] : offs[s]+counts[s]]
+		}
+	}
+	shards := make([]*shardScratch, extractShards)
+	for s := range shards {
+		shards[s] = x.shardFor(s)
 	}
 	pool.Stage = "dedup"
-	shards := parallel.Map(pool, extractShards, func(s int) *shardAgg {
-		//nolint:hotalloc — one allocation per shard (16 per interval), not per record
-		sh := &shardAgg{aggs: make(map[ipaddr.Addr]*originatorAgg)}
-		dedup := dnslog.NewDeduper(x.DedupWindow)
+	pool.Each(extractShards, func(s int) {
+		sh := shards[s]
 		for _, r := range parts[s] {
 			var id trace.ID
 			var t0 simtime.Time
@@ -206,7 +334,7 @@ func (x *Extractor) Extract(recs []dnslog.Record, start simtime.Time, dur simtim
 			if x.Tracer != nil {
 				id, t0, traced = x.Tracer.RecordID(r.Originator, r.Querier, r.Time)
 			}
-			if !dedup.Keep(r) {
+			if !sh.dedup.Keep(r) {
 				if traced {
 					x.Tracer.Pipeline(id, t0, "dedup", "dropped", "window", r.Time)
 				}
@@ -216,15 +344,7 @@ func (x *Extractor) Extract(recs []dnslog.Record, start simtime.Time, dur simtim
 				x.Tracer.Pipeline(id, t0, "dedup", "kept", "", r.Time)
 			}
 			sh.kept++
-			a := sh.aggs[r.Originator]
-			if a == nil {
-				//nolint:hotalloc — one allocation per distinct originator, amortized over its records
-				a = &originatorAgg{
-					queriers: make(map[ipaddr.Addr]struct{}),
-					buckets:  make(map[int]struct{}),
-				}
-				sh.aggs[r.Originator] = a
-			}
+			a := sh.agg(r.Originator)
 			if traced {
 				if a.refs == nil {
 					a.refs = make(map[trace.ID]simtime.Time)
@@ -232,10 +352,11 @@ func (x *Extractor) Extract(recs []dnslog.Record, start simtime.Time, dur simtim
 				a.refs[id] = t0
 			}
 			a.queries++
-			a.queriers[r.Querier] = struct{}{}
-			a.buckets[r.Time.TenMinuteBucket()] = struct{}{}
+			a.queriers = append(a.queriers, r.Querier)
+			if b := r.Time.TenMinuteBucket(); len(a.buckets) == 0 || a.buckets[len(a.buckets)-1] != b {
+				a.buckets = append(a.buckets, b)
+			}
 		}
-		return sh
 	})
 	kept, originators := 0, 0
 	for _, sh := range shards {
@@ -257,43 +378,54 @@ func (x *Extractor) Extract(recs []dnslog.Record, start simtime.Time, dur simtim
 	pool.Stage = "filter"
 	pool.Each(extractShards, func(s int) {
 		sh := shards[s]
-		sh.queriers = make(map[ipaddr.Addr]struct{})
-		sh.ases = make(map[int]struct{})
-		sh.countries = make(map[string]struct{})
-		for _, a := range sh.aggs {
-			for q := range a.queriers {
-				if _, seen := sh.queriers[q]; seen {
-					continue
-				}
-				sh.queriers[q] = struct{}{}
-				sh.ases[x.Geo.ASN(q)] = struct{}{}
-				sh.countries[x.Geo.Country(q)] = struct{}{}
-			}
+		// Sort-compact each aggregate's raw querier/bucket columns into
+		// their unique sets, then build the shard-level views from every
+		// originator (dropped ones included — the paper's interval
+		// normalizers count all observed queriers).
+		for i := range sh.aggs {
+			a := &sh.aggs[i]
+			a.queriers = sortUniq(a.queriers)
+			a.nq = len(a.queriers)
+			a.buckets = sortUniq(a.buckets)
+			a.nbuckets = len(a.buckets)
 		}
-		for orig, a := range sh.aggs {
-			if len(a.queriers) < x.MinQueriers {
-				x.emitRefs(a, "filter", "dropped", len(a.queriers), start)
-				delete(sh.aggs, orig)
+		for i := range sh.aggs {
+			sh.addrs = append(sh.addrs, sh.aggs[i].queriers...)
+		}
+		sh.addrs = sortUniq(sh.addrs)
+		for _, q := range sh.addrs {
+			sh.asns = append(sh.asns, x.Geo.ASN(q))
+			sh.ccs = append(sh.ccs, x.Geo.Country(q))
+		}
+		sh.asns = sortUniq(sh.asns)
+		sh.ccs = sortUniq(sh.ccs)
+		for i := range sh.aggs {
+			a := &sh.aggs[i]
+			if a.nq < x.MinQueriers {
+				x.emitRefs(a, "filter", "dropped", a.nq, start)
 			} else {
-				x.emitRefs(a, "filter", "kept", len(a.queriers), start)
+				a.kept = true
+				x.emitRefs(a, "filter", "kept", a.nq, start)
 			}
 		}
 	})
-	allQueriers := make(map[ipaddr.Addr]struct{})
-	allAS := make(map[int]struct{})
-	allCountry := make(map[string]struct{})
+	// Union across shards: concatenate the per-shard sorted unique views
+	// and compact once — only the lengths feed the normalizers.
+	uq, uas, ucc := x.scratch.uq[:0], x.scratch.uas[:0], x.scratch.ucc[:0]
 	analyzable := 0
 	for _, sh := range shards {
-		for q := range sh.queriers {
-			allQueriers[q] = struct{}{}
+		uq = append(uq, sh.addrs...)
+		uas = append(uas, sh.asns...)
+		ucc = append(ucc, sh.ccs...)
+		for i := range sh.aggs {
+			if sh.aggs[i].kept {
+				analyzable++
+			}
 		}
-		for as := range sh.ases {
-			allAS[as] = struct{}{}
-		}
-		for c := range sh.countries {
-			allCountry[c] = struct{}{}
-		}
-		analyzable += len(sh.aggs)
+	}
+	uq, uas, ucc = sortUniq(uq), sortUniq(uas), sortUniq(ucc)
+	if !x.NoReuse {
+		x.scratch.uq, x.scratch.uas, x.scratch.ucc = uq, uas, ucc
 	}
 	totalBuckets := int(dur / (10 * simtime.Minute))
 	if totalBuckets < 1 {
@@ -308,30 +440,35 @@ func (x *Extractor) Extract(recs []dnslog.Record, start simtime.Time, dur simtim
 	// index-ordered merge — is deterministic.
 	sp = x.Obs.StartSpan("extract")
 	tok = x.Acct.Start("extract")
-	type workItem struct {
-		orig ipaddr.Addr
-		agg  *originatorAgg
-	}
-	work := make([]workItem, 0, analyzable)
+	work := x.scratch.work[:0]
 	for _, sh := range shards {
-		for orig, a := range sh.aggs {
-			work = append(work, workItem{orig, a})
+		for i := range sh.aggs {
+			if sh.aggs[i].kept {
+				work = append(work, &sh.aggs[i])
+			}
 		}
 	}
-	sort.Slice(work, func(i, j int) bool { return work[i].orig < work[j].orig })
+	slices.SortFunc(work, func(a, b *originatorAgg) int {
+		return cmp.Compare(a.orig, b.orig)
+	})
+	if !x.NoReuse {
+		x.scratch.work = work
+	}
 	pool.Stage = "extract"
 	out := parallel.Map(pool, len(work), func(i int) *Vector {
-		w := work[i]
-		v := x.vector(w.orig, w.agg, len(allAS), len(allCountry), len(allQueriers), totalBuckets)
-		x.emitRefs(w.agg, "extract", "vector", v.Queriers, start)
+		a := work[i]
+		v := x.vector(a, len(uas), len(ucc), len(uq), totalBuckets)
+		x.emitRefs(a, "extract", "vector", v.Queriers, start)
 		return v
 	})
 	// Deterministic order: by footprint descending, address ascending.
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Queriers != out[j].Queriers {
-			return out[i].Queriers > out[j].Queriers
+	slices.SortFunc(out, func(a, b *Vector) int {
+		switch {
+		case a.Queriers != b.Queriers:
+			return b.Queriers - a.Queriers
+		default:
+			return cmp.Compare(a.Originator, b.Originator)
 		}
-		return out[i].Originator < out[j].Originator
 	})
 	tok.End()
 	sp.End()
@@ -353,42 +490,83 @@ func (x *Extractor) emitRefs(a *originatorAgg, stage, outcome string, queriers i
 	}
 }
 
-func (x *Extractor) vector(orig ipaddr.Addr, a *originatorAgg, totalAS, totalCountry, totalQueriers, totalBuckets int) *Vector {
-	v := &Vector{Originator: orig, Queriers: len(a.queriers), Queries: a.queries}
+// vecScratch is per-worker extract-stage scratch: /24 and /8 run-length
+// counts plus AS/country gather buffers. Pooled because the extract
+// fan-out has no per-worker identity; pooling is ops-only and invisible
+// to output bytes.
+type vecScratch struct {
+	cs24 []int
+	cs8  []int
+	asns []int
+	ccs  []string
+}
 
-	counts24 := make(map[uint32]int)
-	counts8 := make(map[byte]int)
-	ases := make(map[int]struct{})
-	countries := make(map[string]struct{})
-	for q := range a.queriers {
+var vecScratchPool = sync.Pool{New: func() any { return new(vecScratch) }}
+
+// vector computes one originator's feature vector. a.queriers must be the
+// sorted unique querier set (filter stage output): sorting groups equal
+// /24 and /8 prefixes contiguously, so the entropy inputs are run lengths
+// — no per-originator count maps. Every accumulation is either integer
+// or order-normalized (normEntropy sorts its counts), so the result is
+// byte-identical to the map-based computation.
+func (x *Extractor) vector(a *originatorAgg, totalAS, totalCountry, totalQueriers, totalBuckets int) *Vector {
+	v := &Vector{Originator: a.orig, Queriers: a.nq, Queries: a.queries}
+
+	var s *vecScratch
+	if x.NoReuse {
+		s = new(vecScratch)
+	} else {
+		s = vecScratchPool.Get().(*vecScratch)
+	}
+	cs24, cs8 := s.cs24[:0], s.cs8[:0]
+	asns, ccs := s.asns[:0], s.ccs[:0]
+	var prev24 uint32
+	var prev8 byte
+	for i, q := range a.queriers {
 		name, unreach := x.NameOf(q)
 		cat := qname.Classify(name)
 		if unreach {
 			cat = qname.Unreach
 		}
 		v.X[int(cat)]++
-		counts24[q.Slash24()]++
-		counts8[q.Slash8()]++
-		ases[x.Geo.ASN(q)] = struct{}{}
-		countries[x.Geo.Country(q)] = struct{}{}
+		if p := q.Slash24(); i == 0 || p != prev24 {
+			cs24 = append(cs24, 1)
+			prev24 = p
+		} else {
+			cs24[len(cs24)-1]++
+		}
+		if p := q.Slash8(); i == 0 || p != prev8 {
+			cs8 = append(cs8, 1)
+			prev8 = p
+		} else {
+			cs8[len(cs8)-1]++
+		}
+		asns = append(asns, x.Geo.ASN(q))
+		ccs = append(ccs, x.Geo.Country(q))
 	}
-	n := float64(len(a.queriers))
+	asns = sortUniq(asns)
+	ccs = sortUniq(ccs)
+	n := float64(a.nq)
 	for i := 0; i < NumStatic; i++ {
 		v.X[i] /= n
 	}
 
 	d := v.X[NumStatic:]
 	d[DynQueriesPerQuerier] = float64(a.queries) / n
-	d[DynPersistence] = float64(len(a.buckets)) / float64(totalBuckets)
-	d[DynLocalEntropy] = normEntropy24(counts24, len(a.queriers))
-	d[DynGlobalEntropy] = normEntropy8(counts8, len(a.queriers))
-	d[DynUniqueASes] = ratio(len(ases), totalAS)
-	d[DynUniqueCountries] = ratio(len(countries), totalCountry)
-	if len(countries) > 0 && totalQueriers > 0 {
-		d[DynQueriersPerCountry] = n / float64(len(countries)) / float64(totalQueriers)
+	d[DynPersistence] = float64(a.nbuckets) / float64(totalBuckets)
+	d[DynLocalEntropy] = normEntropy(cs24, a.nq, 1<<24)
+	d[DynGlobalEntropy] = normEntropy(cs8, a.nq, 256)
+	d[DynUniqueASes] = ratio(len(asns), totalAS)
+	d[DynUniqueCountries] = ratio(len(ccs), totalCountry)
+	if len(ccs) > 0 && totalQueriers > 0 {
+		d[DynQueriersPerCountry] = n / float64(len(ccs)) / float64(totalQueriers)
 	}
-	if len(ases) > 0 && totalQueriers > 0 {
-		d[DynQueriersPerAS] = n / float64(len(ases)) / float64(totalQueriers)
+	if len(asns) > 0 && totalQueriers > 0 {
+		d[DynQueriersPerAS] = n / float64(len(asns)) / float64(totalQueriers)
+	}
+	s.cs24, s.cs8, s.asns, s.ccs = cs24, cs8, asns, ccs
+	if !x.NoReuse {
+		vecScratchPool.Put(s)
 	}
 	return v
 }

@@ -1,0 +1,131 @@
+// Package intern deduplicates hot-path strings behind a seeded,
+// deterministic intern table. Reverse-name generation, log parsing, and
+// the dedup→filter→extract pipeline see the same small vocabulary of
+// domains, authorities, and country codes over and over; interning makes
+// every repeat a map hit that returns one shared backing string instead
+// of a fresh allocation.
+//
+// Interning is value-transparent: Intern(s) always returns a string equal
+// to s, so pipeline output bytes are identical with or without a table.
+// The table is deterministic — its behavior is a pure function of the
+// seed and the sequence of interned values — which keeps instrumented
+// runs reproducible. A nil *Table is valid everywhere and passes strings
+// through untouched, so callers never branch.
+package intern
+
+// Table is an open-addressed string intern table. The zero value is not
+// ready to use; call New. A Table is not safe for concurrent use — give
+// each goroutine its own, or intern before fanning out (the simulator and
+// log reader are single-threaded, which is where the repo wires tables
+// in).
+type Table struct {
+	seed uint64
+	keys []string // power-of-two sized; "" marks an empty slot
+	n    int
+}
+
+// New returns an empty table. The seed perturbs the internal hash so two
+// tables (or two runs with different seeds) probe in different orders —
+// interned values are unaffected, only slot layout is.
+func New(seed uint64) *Table {
+	return &Table{seed: seed, keys: make([]string, 64)}
+}
+
+// Len returns the number of distinct strings interned.
+func (t *Table) Len() int {
+	if t == nil {
+		return 0
+	}
+	return t.n
+}
+
+// hash is FNV-1a over the bytes of s, offset by the table seed. The
+// string and byte-slice paths must agree byte for byte.
+func (t *Table) hash(s string) uint64 {
+	h := t.seed ^ 0xcbf29ce484222325
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// Intern returns the canonical copy of s, storing s itself on first
+// sight. Hits allocate nothing. Nil tables return s unchanged.
+func (t *Table) Intern(s string) string {
+	if t == nil || s == "" {
+		return s
+	}
+	mask := uint64(len(t.keys) - 1)
+	for i := t.hash(s) & mask; ; i = (i + 1) & mask {
+		switch t.keys[i] {
+		case s:
+			return t.keys[i]
+		case "":
+			t.keys[i] = s
+			t.n++
+			t.maybeGrow()
+			return s
+		}
+	}
+}
+
+// InternBytes returns the canonical string equal to b, copying b into a
+// new string only on first sight. Hits allocate nothing: the probe
+// compares b against stored keys directly.
+func (t *Table) InternBytes(b []byte) string {
+	if t == nil {
+		return string(b)
+	}
+	if len(b) == 0 {
+		return ""
+	}
+	mask := uint64(len(t.keys) - 1)
+	for i := t.hashBytes(b) & mask; ; i = (i + 1) & mask {
+		k := t.keys[i]
+		if k == "" {
+			s := string(b)
+			t.keys[i] = s
+			t.n++
+			t.maybeGrow()
+			return s
+		}
+		// string(b) in a comparison does not allocate (the compiler
+		// elides the copy), so probe hits stay allocation-free.
+		if k == string(b) {
+			return k
+		}
+	}
+}
+
+// hashBytes mirrors hash over a byte slice, so Intern and InternBytes
+// probe identically for equal contents.
+func (t *Table) hashBytes(b []byte) uint64 {
+	h := t.seed ^ 0xcbf29ce484222325
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// maybeGrow doubles the slot array past 75% load, rehashing every key.
+func (t *Table) maybeGrow() {
+	if t.n*4 < len(t.keys)*3 {
+		return
+	}
+	old := t.keys
+	t.keys = make([]string, len(old)*2)
+	mask := uint64(len(t.keys) - 1)
+	for _, k := range old {
+		if k == "" {
+			continue
+		}
+		for i := t.hash(k) & mask; ; i = (i + 1) & mask {
+			if t.keys[i] == "" {
+				t.keys[i] = k
+				break
+			}
+		}
+	}
+}

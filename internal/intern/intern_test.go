@@ -1,0 +1,108 @@
+package intern_test
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+
+	"dnsbackscatter/internal/intern"
+)
+
+func TestInternIdentity(t *testing.T) {
+	tab := intern.New(42)
+	a := tab.Intern("mail.example.jp")
+	b := tab.Intern("mail" + ".example.jp") // distinct backing, equal value
+	if a != b {
+		t.Fatalf("interned values differ: %q vs %q", a, b)
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tab.Len())
+	}
+}
+
+func TestInternBytesMatchesIntern(t *testing.T) {
+	tab := intern.New(7)
+	s := tab.Intern("b-root")
+	if got := tab.InternBytes([]byte("b-root")); got != s {
+		t.Fatalf("InternBytes returned %q, want canonical %q", got, s)
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("Len = %d after byte re-intern, want 1", tab.Len())
+	}
+	if got := tab.InternBytes([]byte("m-root")); got != "m-root" {
+		t.Fatalf("InternBytes new value = %q", got)
+	}
+	if tab.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tab.Len())
+	}
+}
+
+func TestNilTablePassesThrough(t *testing.T) {
+	var tab *intern.Table
+	if got := tab.Intern("x"); got != "x" {
+		t.Fatalf("nil Intern = %q", got)
+	}
+	if got := tab.InternBytes([]byte("y")); got != "y" {
+		t.Fatalf("nil InternBytes = %q", got)
+	}
+	if tab.Len() != 0 {
+		t.Fatalf("nil Len = %d", tab.Len())
+	}
+}
+
+func TestGrowthKeepsCanonicals(t *testing.T) {
+	tab := intern.New(1)
+	first := tab.Intern("host-0")
+	// Force several growths past the 64-slot initial size.
+	for i := 0; i < 500; i++ {
+		tab.Intern("host-" + strconv.Itoa(i))
+	}
+	if got := tab.Intern("host-" + strconv.Itoa(0)); got != first {
+		t.Fatal("growth lost the canonical copy")
+	}
+	if tab.Len() != 500 {
+		t.Fatalf("Len = %d, want 500", tab.Len())
+	}
+}
+
+func TestSeedsAgreeOnValues(t *testing.T) {
+	a, b := intern.New(1), intern.New(2)
+	for i := 0; i < 100; i++ {
+		s := "q" + strconv.Itoa(i%10)
+		if a.Intern(s) != b.Intern(s) {
+			t.Fatalf("tables with different seeds disagree on %q", s)
+		}
+	}
+}
+
+func BenchmarkInternHit(b *testing.B) {
+	tab := intern.New(9)
+	tab.Intern("ns1.resolver7.jp")
+	key := []byte("ns1.resolver7.jp")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tab.InternBytes(key)
+	}
+}
+
+// ExampleTable shows the value-transparency contract: interning never
+// changes a string's contents, it only canonicalizes the backing.
+func ExampleTable() {
+	tab := intern.New(1)
+	a := tab.Intern("b-root")
+	b := tab.Intern(string([]byte{'b', '-', 'r', 'o', 'o', 't'}))
+	fmt.Println(a == b, tab.Len())
+	// Output: true 1
+}
+
+// ExampleTable_InternBytes interns a parsed field without allocating on
+// repeat sightings — the hot path of the log reader.
+func ExampleTable_InternBytes() {
+	tab := intern.New(1)
+	line := []byte("jp")
+	fmt.Println(tab.InternBytes(line), tab.Len())
+	fmt.Println(tab.InternBytes(line), tab.Len())
+	// Output:
+	// jp 1
+	// jp 1
+}

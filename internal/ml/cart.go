@@ -1,7 +1,8 @@
 package ml
 
 import (
-	"sort"
+	"slices"
+	"sync"
 
 	"dnsbackscatter/internal/rng"
 )
@@ -78,6 +79,18 @@ func (c CART) Train(d *Dataset, st *rng.Stream) Classifier {
 // TrainTree grows the tree and returns the concrete type (forests need the
 // importances).
 func (c CART) TrainTree(d *Dataset, st *rng.Stream) *Tree {
+	idx := make([]int, d.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	return c.trainTree(d, idx, st)
+}
+
+// trainTree grows a tree over the given sample rows (which may repeat —
+// forests pass bootstrap draws directly, avoiding a per-tree Dataset
+// copy). idx is consumed as working storage: the builder partitions it in
+// place, so callers must not reuse it afterwards.
+func (c CART) trainTree(d *Dataset, idx []int, st *rng.Stream) *Tree {
 	cfg := c.Config
 	if cfg.MinLeaf < 1 {
 		cfg.MinLeaf = 1
@@ -86,21 +99,91 @@ func (c CART) TrainTree(d *Dataset, st *rng.Stream) *Tree {
 		cfg.MinSplit = 2
 	}
 	t := &Tree{importance: make([]float64, d.NumFeatures())}
-	idx := make([]int, d.Len())
-	for i := range idx {
-		idx[i] = i
-	}
-	b := &treeBuilder{d: d, cfg: cfg, st: st, tree: t, total: d.Len()}
+	b := builderPool.Get().(*treeBuilder)
+	b.d, b.cfg, b.st, b.tree, b.total = d, cfg, st, t, len(idx)
+	b.counts = sized(b.counts, d.NumClasses)
+	b.leftCounts = sized(b.leftCounts, d.NumClasses)
+	b.vals = sizedFV(b.vals, len(idx))
+	b.feats = sized(b.feats, d.NumFeatures())
+	b.spill = sized(b.spill, len(idx))[:0]
+	b.arena = nil // nodes belong to the returned tree; never recycled
 	t.root = b.grow(idx, 0)
+	b.d, b.st, b.tree, b.arena = nil, nil, nil, nil
+	builderPool.Put(b)
 	return t
 }
 
+// builderPool recycles treeBuilder scratch across trees. Node arenas are
+// excluded — they are reachable from returned Trees. Pooling is ops-only:
+// scratch contents are fully overwritten before use, so results are
+// byte-identical with or without reuse.
+var builderPool = sync.Pool{New: func() any { return new(treeBuilder) }}
+
+// sized returns s resized to n, reallocating only when capacity is short.
+func sized(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func sizedFV(s []fv, n int) []fv {
+	if cap(s) < n {
+		return make([]fv, n)
+	}
+	return s[:n]
+}
+
+// fv pairs one sample's feature value with its label for the split scan.
+type fv struct {
+	v float64
+	y int
+}
+
+// treeBuilder carries per-tree state plus the scratch buffers the grow
+// loop reuses for every node. Nodes come from a chunked arena, so a tree
+// costs a handful of allocations rather than several per node.
+//
+//bslint:hotpath
 type treeBuilder struct {
 	d     *Dataset
 	cfg   CARTConfig
 	st    *rng.Stream
 	tree  *Tree
 	total int
+
+	counts     []int  // per-node class histogram (reused down the recursion)
+	leftCounts []int  // split-scan left-side histogram
+	vals       []fv   // split-scan value/label pairs
+	feats      []int  // feature scan order (reshuffled per split)
+	spill      []int  // stable-partition spill buffer
+	arena      []node // current node arena chunk
+}
+
+// Node-arena chunk sizing: start small so shallow trees waste little
+// tail, double per chunk so deep trees take O(log n) chunk allocations.
+const (
+	arenaChunkMin = 32
+	arenaChunkMax = 1024
+)
+
+// newNode hands out the next arena slot. Chunks are never reallocated
+// (only replaced when full), so returned pointers stay valid for the
+// tree's lifetime.
+func (b *treeBuilder) newNode() *node {
+	if len(b.arena) == cap(b.arena) {
+		next := cap(b.arena) * 2
+		if next < arenaChunkMin {
+			next = arenaChunkMin
+		}
+		if next > arenaChunkMax {
+			next = arenaChunkMax
+		}
+		//nolint:hotalloc — one chunk per 32-1024 nodes, not per node
+		b.arena = make([]node, 0, next)
+	}
+	b.arena = b.arena[:len(b.arena)+1]
+	return &b.arena[len(b.arena)-1]
 }
 
 // gini computes Gini impurity from class counts over n samples.
@@ -126,52 +209,74 @@ func majorityLabel(counts []int) int {
 	return best
 }
 
+// grow builds the subtree over idx, partitioning idx in place (stable, so
+// recursion sees samples in the same relative order the append-based
+// builder produced).
+//
+//bslint:hotpath
 func (b *treeBuilder) grow(idx []int, depth int) *node {
-	counts := make([]int, b.d.NumClasses)
+	counts := b.counts
+	for i := range counts {
+		counts[i] = 0
+	}
 	for _, i := range idx {
 		counts[b.d.Y[i]]++
 	}
-	leaf := &node{feature: -1, label: majorityLabel(counts)}
+	label := majorityLabel(counts)
+	leaf := func() *node {
+		n := b.newNode()
+		*n = node{feature: -1, label: label}
+		return n
+	}
 	if len(idx) < b.cfg.MinSplit || (b.cfg.MaxDepth > 0 && depth >= b.cfg.MaxDepth) {
-		return leaf
+		return leaf()
 	}
 	parentGini := gini(counts, len(idx))
 	if parentGini == 0 {
-		return leaf
+		return leaf()
 	}
 
 	feat, thr, gain := b.bestSplit(idx, counts, parentGini)
 	if feat < 0 {
-		return leaf
+		return leaf()
 	}
 
-	var left, right []int
+	// Stable in-place partition: left-side rows compact to the front,
+	// right-side rows pass through the spill buffer, both keeping their
+	// relative order.
+	spill := b.spill[:0]
+	nl := 0
 	for _, i := range idx {
 		if b.d.X[i][feat] <= thr {
-			left = append(left, i)
+			idx[nl] = i
+			nl++
 		} else {
-			right = append(right, i)
+			spill = append(spill, i)
 		}
 	}
-	if len(left) < b.cfg.MinLeaf || len(right) < b.cfg.MinLeaf {
-		return leaf
+	copy(idx[nl:], spill)
+	if nl < b.cfg.MinLeaf || len(idx)-nl < b.cfg.MinLeaf {
+		return leaf()
 	}
 	b.tree.importance[feat] += gain * float64(len(idx)) / float64(b.total)
-	return &node{
-		feature:   feat,
-		threshold: thr,
-		label:     leaf.label,
-		left:      b.grow(left, depth+1),
-		right:     b.grow(right, depth+1),
-	}
+	n := b.newNode()
+	*n = node{feature: feat, threshold: thr, label: label}
+	n.left = b.grow(idx[:nl], depth+1)
+	n.right = b.grow(idx[nl:], depth+1)
+	return n
 }
 
 // bestSplit scans (a possibly random subset of) features for the split
 // maximizing Gini gain. Thresholds are midpoints between consecutive
-// distinct sorted values.
+// distinct sorted values. All working storage is builder scratch; the
+// sort is reflection-free. Tie order within equal feature values never
+// reaches the result: gains are evaluated only at distinct-value
+// boundaries, from integer class counts.
+//
+//bslint:hotpath
 func (b *treeBuilder) bestSplit(idx []int, parentCounts []int, parentGini float64) (feat int, thr, gain float64) {
 	nf := b.d.NumFeatures()
-	feats := make([]int, nf)
+	feats := b.feats
 	for i := range feats {
 		feats[i] = i
 	}
@@ -182,18 +287,23 @@ func (b *treeBuilder) bestSplit(idx []int, parentCounts []int, parentGini float6
 
 	feat = -1
 	n := len(idx)
-	type fv struct {
-		v float64
-		y int
-	}
-	vals := make([]fv, n)
-	leftCounts := make([]int, b.d.NumClasses)
+	vals := b.vals[:n]
+	leftCounts := b.leftCounts
 
 	for _, f := range feats {
 		for i, row := range idx {
 			vals[i] = fv{v: b.d.X[row][f], y: b.d.Y[row]}
 		}
-		sort.Slice(vals, func(i, j int) bool { return vals[i].v < vals[j].v })
+		slices.SortFunc(vals, func(a, c fv) int {
+			switch {
+			case a.v < c.v:
+				return -1
+			case a.v > c.v:
+				return 1
+			default:
+				return 0
+			}
+		})
 		if vals[0].v == vals[n-1].v {
 			continue
 		}

@@ -2,7 +2,8 @@ package ml
 
 import (
 	"math"
-	"sort"
+	"slices"
+	"sync"
 
 	"dnsbackscatter/internal/obs"
 	"dnsbackscatter/internal/parallel"
@@ -40,6 +41,10 @@ type Forest struct {
 
 // Name implements Trainer.
 func (Forest) Name() string { return "RF" }
+
+// bootPool recycles bootstrap index slices across trees (ops-only; each
+// slice is fully overwritten before use).
+var bootPool = sync.Pool{New: func() any { return new([]int) }}
 
 // ForestModel is a trained forest.
 type ForestModel struct {
@@ -89,11 +94,24 @@ func (f Forest) TrainForest(d *Dataset, st *rng.Stream) *ForestModel {
 	pool := parallel.Pool{Workers: cfg.Workers, Obs: cfg.Obs, Stage: "train", Acct: cfg.Acct}
 	m.trees = parallel.Map(pool, cfg.Trees, func(t int) *Tree {
 		ts := rng.New(seeds[t])
-		boot := make([]int, n)
+		// Bootstrap rows feed trainTree directly — no per-tree Dataset
+		// copy. Row order matches what Subset would materialize, so the
+		// trained tree is byte-identical to the copying path. The index
+		// slice is pure working storage (trainTree never retains it), so
+		// it cycles through a pool across trees.
+		bp := bootPool.Get().(*[]int)
+		boot := *bp
+		if cap(boot) < n {
+			boot = make([]int, n)
+		}
+		boot = boot[:n]
 		for i := range boot {
 			boot[i] = ts.Intn(n)
 		}
-		return cart.TrainTree(d.Subset(boot), ts)
+		tree := cart.trainTree(d, boot, ts)
+		*bp = boot
+		bootPool.Put(bp)
+		return tree
 	})
 	// Importances merge sequentially in tree order: float summation
 	// order is fixed, so the totals match bit for bit across runs.
@@ -139,11 +157,15 @@ func (m *ForestModel) TopFeatures(k int) []FeatureRank {
 	for i, v := range m.importance {
 		ranks[i] = FeatureRank{Feature: i, Importance: v}
 	}
-	sort.Slice(ranks, func(i, j int) bool {
-		if ranks[i].Importance != ranks[j].Importance {
-			return ranks[i].Importance > ranks[j].Importance
+	slices.SortFunc(ranks, func(a, b FeatureRank) int {
+		switch {
+		case a.Importance > b.Importance:
+			return -1
+		case a.Importance < b.Importance:
+			return 1
+		default:
+			return a.Feature - b.Feature
 		}
-		return ranks[i].Feature < ranks[j].Feature
 	})
 	if k < len(ranks) {
 		ranks = ranks[:k]

@@ -16,6 +16,7 @@ import (
 	"strconv"
 	"strings"
 
+	"dnsbackscatter/internal/intern"
 	"dnsbackscatter/internal/ipaddr"
 	"dnsbackscatter/internal/rng"
 )
@@ -196,6 +197,13 @@ func isAlpha(c byte) bool {
 // generator is fully reproducible.
 type Generator struct {
 	st *rng.Stream
+	// Intern, when non-nil, canonicalizes the registered domains Name
+	// and Domain build — a small vocabulary (≤ 97 ids × 20 words per
+	// ccTLD) reconstructed for every querier otherwise. Generated names
+	// are byte-identical with or without a table.
+	Intern *intern.Table
+
+	buf []byte // scratch for assembling names in one allocation
 }
 
 // NewGenerator returns a generator drawing from st.
@@ -220,10 +228,21 @@ func init() {
 }
 
 // Domain returns a registered domain under the given ccTLD, e.g.
-// "metro3.jp". The id diversifies organizations within a country.
+// "metro3.jp". The id diversifies organizations within a country. The
+// domain is assembled in the generator's scratch buffer and, with an
+// intern table installed, canonicalized — repeat draws of the same
+// (word, id, ccTLD) combination return one shared string.
 func (g *Generator) Domain(cctld string, id int) string {
 	w := domainWords[g.st.Intn(len(domainWords))]
-	return w + strconv.Itoa(id%97) + "." + cctld
+	b := append(g.buf[:0], w...)
+	b = strconv.AppendInt(b, int64(id%97), 10)
+	b = append(b, '.')
+	b = append(b, cctld...)
+	g.buf = b
+	if g.Intern != nil {
+		return g.Intern.InternBytes(b)
+	}
+	return string(b)
 }
 
 var (
@@ -243,56 +262,105 @@ var (
 // callers track unreachability separately.
 func (g *Generator) Name(cat Category, addr ipaddr.Addr, cctld string) string {
 	o0, o1, o2, o3 := addr.Octets()
+	// Domain is drawn unconditionally — even for categories that ignore
+	// it — so the stream advances identically for every category.
 	dom := g.Domain(cctld, int(addr.Slash16()))
-	quad := strconv.Itoa(int(o0)) + "-" + strconv.Itoa(int(o1)) + "-" +
-		strconv.Itoa(int(o2)) + "-" + strconv.Itoa(int(o3))
 	pick := func(xs []string) string { return xs[g.st.Intn(len(xs))] }
+
+	// The name is assembled into the generator's scratch buffer and
+	// copied out once: the many intermediate concatenations the naive
+	// form allocates (quad, host+digit, host+"."+dom) never materialize.
+	b := g.buf[:0]
+	quad := func(b []byte) []byte {
+		b = strconv.AppendInt(b, int64(o0), 10)
+		b = append(b, '-')
+		b = strconv.AppendInt(b, int64(o1), 10)
+		b = append(b, '-')
+		b = strconv.AppendInt(b, int64(o2), 10)
+		b = append(b, '-')
+		return strconv.AppendInt(b, int64(o3), 10)
+	}
+	done := func(b []byte) string {
+		g.buf = b
+		return string(b)
+	}
 
 	switch cat {
 	case Home:
-		kw := pick(homeKeywords)
-		if g.st.Bool(0.5) {
-			return kw + quad + "." + dom
+		b = append(b, pick(homeKeywords)...)
+		if !g.st.Bool(0.5) {
+			b = append(b, '-')
 		}
-		return kw + "-" + quad + "." + dom
+		b = quad(b)
+		b = append(b, '.')
+		return done(append(b, dom...))
 	case Mail:
-		h := pick(mailHosts)
+		b = append(b, pick(mailHosts)...)
 		if g.st.Bool(0.3) {
-			h += strconv.Itoa(1 + g.st.Intn(9))
+			b = strconv.AppendInt(b, int64(1+g.st.Intn(9)), 10)
 		}
 		// A slice of compound names exercises the precedence rules.
 		if g.st.Bool(0.1) {
-			return h + ".ns" + strconv.Itoa(g.st.Intn(4)) + "." + dom
+			b = append(b, ".ns"...)
+			b = strconv.AppendInt(b, int64(g.st.Intn(4)), 10)
 		}
-		return h + "." + dom
+		b = append(b, '.')
+		return done(append(b, dom...))
 	case NS:
-		h := pick(nsHosts)
+		b = append(b, pick(nsHosts)...)
 		if g.st.Bool(0.4) {
-			h += strconv.Itoa(1 + g.st.Intn(4))
+			b = strconv.AppendInt(b, int64(1+g.st.Intn(4)), 10)
 		}
-		return h + "." + dom
+		b = append(b, '.')
+		return done(append(b, dom...))
 	case FW:
-		return pick(fwHosts) + strconv.Itoa(g.st.Intn(3)) + "." + dom
+		b = append(b, pick(fwHosts)...)
+		b = strconv.AppendInt(b, int64(g.st.Intn(3)), 10)
+		b = append(b, '.')
+		return done(append(b, dom...))
 	case Antispam:
-		return pick(antispamHosts) + strconv.Itoa(1+g.st.Intn(4)) + "." + dom
+		b = append(b, pick(antispamHosts)...)
+		b = strconv.AppendInt(b, int64(1+g.st.Intn(4)), 10)
+		b = append(b, '.')
+		return done(append(b, dom...))
 	case WWW:
-		h := "www"
+		b = append(b, "www"...)
 		if g.st.Bool(0.3) {
-			h += strconv.Itoa(1 + g.st.Intn(4))
+			b = strconv.AppendInt(b, int64(1+g.st.Intn(4)), 10)
 		}
-		return h + "." + dom
+		b = append(b, '.')
+		return done(append(b, dom...))
 	case NTP:
-		return "ntp" + strconv.Itoa(g.st.Intn(4)) + "." + dom
+		b = append(b, "ntp"...)
+		b = strconv.AppendInt(b, int64(g.st.Intn(4)), 10)
+		b = append(b, '.')
+		return done(append(b, dom...))
 	case CDN:
-		return "a" + quad + "." + pick(cdnSuffixes)
+		b = append(b, 'a')
+		b = quad(b)
+		b = append(b, '.')
+		return done(append(b, pick(cdnSuffixes)...))
 	case AWS:
-		return "ec2-" + quad + ".compute-1.amazonaws.com"
+		b = append(b, "ec2-"...)
+		b = quad(b)
+		return done(append(b, ".compute-1.amazonaws.com"...))
 	case MS:
-		return "waws-" + strconv.Itoa(int(o2)) + "-" + strconv.Itoa(int(o3)) + "." + pick(msSuffixes)
+		b = append(b, "waws-"...)
+		b = strconv.AppendInt(b, int64(o2), 10)
+		b = append(b, '-')
+		b = strconv.AppendInt(b, int64(o3), 10)
+		b = append(b, '.')
+		return done(append(b, pick(msSuffixes)...))
 	case Google:
-		return "rate-limited-proxy-" + quad + "." + pick(googleSuffixes)
+		b = append(b, "rate-limited-proxy-"...)
+		b = quad(b)
+		b = append(b, '.')
+		return done(append(b, pick(googleSuffixes)...))
 	case Other:
-		return pick(otherHosts) + strconv.Itoa(g.st.Intn(40)) + "." + dom
+		b = append(b, pick(otherHosts)...)
+		b = strconv.AppendInt(b, int64(g.st.Intn(40)), 10)
+		b = append(b, '.')
+		return done(append(b, dom...))
 	case NXDomain, Unreach:
 		return ""
 	default:

@@ -5,6 +5,7 @@ import (
 
 	"dnsbackscatter/internal/dnssim"
 	"dnsbackscatter/internal/geo"
+	"dnsbackscatter/internal/intern"
 	"dnsbackscatter/internal/ipaddr"
 	"dnsbackscatter/internal/obs"
 	"dnsbackscatter/internal/qname"
@@ -45,6 +46,13 @@ type querierPool struct {
 	byKey  map[poolKey]*Querier
 	byAddr map[ipaddr.Addr]*Querier
 
+	// names canonicalizes the registered domains inside generated
+	// querier names across the whole pool — one shared copy per
+	// (word, org-id, ccTLD) instead of one per querier. Seeded from the
+	// pool seed; value-transparent, so names are byte-identical with or
+	// without it.
+	names *intern.Table
+
 	obs *obs.Registry // instruments resolver caches as slots materialize
 }
 
@@ -63,13 +71,15 @@ func (p *querierPool) setMetrics(reg *obs.Registry) {
 }
 
 func newQuerierPool(g *geo.Registry, src *rng.Source, ranks int, zipfS float64) *querierPool {
+	seed := src.Stream("querier-pool").Uint64()
 	return &querierPool{
 		geo:    g,
-		seed:   src.Stream("querier-pool").Uint64(),
+		seed:   seed,
 		ranks:  ranks,
 		zipfS:  zipfS,
 		byKey:  make(map[poolKey]*Querier),
 		byAddr: make(map[ipaddr.Addr]*Querier),
+		names:  intern.New(seed),
 	}
 }
 
@@ -101,6 +111,7 @@ func (p *querierPool) get(k poolKey) *Querier {
 	}
 
 	gen := qname.NewGenerator(st)
+	gen.Intern = p.names
 	name := gen.Name(k.cat, addr, p.geo.CCTLD(addr))
 
 	// Popular slots (low rank) and shared resolvers (NS category) carry

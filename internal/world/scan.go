@@ -2,6 +2,7 @@ package world
 
 import (
 	"dnsbackscatter/internal/activity"
+	"dnsbackscatter/internal/dnslog"
 	"dnsbackscatter/internal/dnssim"
 	"dnsbackscatter/internal/ipaddr"
 	"dnsbackscatter/internal/rng"
@@ -56,8 +57,8 @@ func (w *World) ControlledScan(origin ipaddr.Addr, frac, react float64, at simti
 	startB, startM := w.BRoot.Seen(), w.MRoot.Seen()
 	finalQ := make(map[ipaddr.Addr]struct{})
 	rootQ := make(map[ipaddr.Addr]struct{})
-	finalBase := len(final.Records)
-	bBase, mBase := len(w.BRoot.Records), len(w.MRoot.Records)
+	finalBase := final.Len()
+	bBase, mBase := w.BRoot.Len(), w.MRoot.Len()
 
 	for i := 0; i < m; i++ {
 		target := ipaddr.Addr(st.Uint64())
@@ -66,21 +67,21 @@ func (w *World) ControlledScan(origin ipaddr.Addr, frac, react float64, at simti
 		w.Hier.Resolve(q.Resolver, origin, t)
 	}
 
-	for _, r := range final.Records[finalBase:] {
+	final.Range(finalBase, func(r dnslog.Record) {
 		if r.Originator == origin {
 			finalQ[r.Querier] = struct{}{}
 		}
-	}
-	for _, r := range w.BRoot.Records[bBase:] {
+	})
+	w.BRoot.Range(bBase, func(r dnslog.Record) {
 		if r.Originator == origin {
 			rootQ[r.Querier] = struct{}{}
 		}
-	}
-	for _, r := range w.MRoot.Records[mBase:] {
+	})
+	w.MRoot.Range(mBase, func(r dnslog.Record) {
 		if r.Originator == origin {
 			rootQ[r.Querier] = struct{}{}
 		}
-	}
+	})
 
 	return ScanResult{
 		Targets:       targets,

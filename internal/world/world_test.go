@@ -22,10 +22,10 @@ func smallConfig() Config {
 func TestRunProducesBackscatter(t *testing.T) {
 	w := New(smallConfig())
 	w.Run()
-	if len(w.BRoot.Records) == 0 || len(w.MRoot.Records) == 0 {
-		t.Fatalf("roots empty: b=%d m=%d", len(w.BRoot.Records), len(w.MRoot.Records))
+	if len(w.BRoot.Records()) == 0 || len(w.MRoot.Records()) == 0 {
+		t.Fatalf("roots empty: b=%d m=%d", len(w.BRoot.Records()), len(w.MRoot.Records()))
 	}
-	if jp := w.National["jp"]; len(jp.Records) == 0 {
+	if jp := w.National["jp"]; len(jp.Records()) == 0 {
 		t.Fatal("jp national sensor empty")
 	}
 	if w.QuerierPoolSize() == 0 {
@@ -36,9 +36,9 @@ func TestRunProducesBackscatter(t *testing.T) {
 func TestRunIdempotent(t *testing.T) {
 	w := New(smallConfig())
 	w.Run()
-	n := len(w.BRoot.Records)
+	n := len(w.BRoot.Records())
 	w.Run()
-	if len(w.BRoot.Records) != n {
+	if len(w.BRoot.Records()) != n {
 		t.Error("second Run added records")
 	}
 }
@@ -48,11 +48,11 @@ func TestDeterminism(t *testing.T) {
 	b := New(smallConfig())
 	a.Run()
 	b.Run()
-	if len(a.BRoot.Records) != len(b.BRoot.Records) {
-		t.Fatalf("record counts differ: %d vs %d", len(a.BRoot.Records), len(b.BRoot.Records))
+	if len(a.BRoot.Records()) != len(b.BRoot.Records()) {
+		t.Fatalf("record counts differ: %d vs %d", len(a.BRoot.Records()), len(b.BRoot.Records()))
 	}
-	for i := range a.BRoot.Records {
-		if a.BRoot.Records[i] != b.BRoot.Records[i] {
+	for i := range a.BRoot.Records() {
+		if a.BRoot.Records()[i] != b.BRoot.Records()[i] {
 			t.Fatalf("record %d differs", i)
 		}
 	}
@@ -68,16 +68,16 @@ func TestSeedChangesWorld(t *testing.T) {
 	b := New(cfg)
 	a.Run()
 	b.Run()
-	if len(a.BRoot.Records) == len(b.BRoot.Records) {
+	if len(a.BRoot.Records()) == len(b.BRoot.Records()) {
 		// Equal lengths are possible but identical contents are not.
 		same := true
-		for i := range a.BRoot.Records {
-			if a.BRoot.Records[i] != b.BRoot.Records[i] {
+		for i := range a.BRoot.Records() {
+			if a.BRoot.Records()[i] != b.BRoot.Records()[i] {
 				same = false
 				break
 			}
 		}
-		if same && len(a.BRoot.Records) > 0 {
+		if same && len(a.BRoot.Records()) > 0 {
 			t.Error("different seeds produced identical logs")
 		}
 	}
@@ -86,7 +86,7 @@ func TestSeedChangesWorld(t *testing.T) {
 func TestTruthCoversAllSensedOriginators(t *testing.T) {
 	w := New(smallConfig())
 	w.Run()
-	for _, r := range w.National["jp"].Records {
+	for _, r := range w.National["jp"].Records() {
 		if _, ok := w.Truth(r.Originator); !ok {
 			t.Fatalf("originator %v sensed but not in ground truth", r.Originator)
 		}
@@ -96,7 +96,7 @@ func TestTruthCoversAllSensedOriginators(t *testing.T) {
 func TestJPSensorOnlySeesJPOriginators(t *testing.T) {
 	w := New(smallConfig())
 	w.Run()
-	for _, r := range w.National["jp"].Records {
+	for _, r := range w.National["jp"].Records() {
 		if got := w.Geo.Country(r.Originator); got != "jp" {
 			t.Fatalf("jp sensor saw originator in %q", got)
 		}
@@ -115,9 +115,9 @@ func TestTimestampsInsideSpan(t *testing.T) {
 			}
 		}
 	}
-	check(w.BRoot.Records, "b-root")
-	check(w.MRoot.Records, "m-root")
-	check(w.National["jp"].Records, "jp")
+	check(w.BRoot.Records(), "b-root")
+	check(w.MRoot.Records(), "m-root")
+	check(w.National["jp"].Records(), "jp")
 }
 
 func TestQuerierNamesResolvable(t *testing.T) {
@@ -125,7 +125,7 @@ func TestQuerierNamesResolvable(t *testing.T) {
 	w.Run()
 	named, nameless := 0, 0
 	seen := make(map[ipaddr.Addr]bool)
-	for _, r := range w.BRoot.Records {
+	for _, r := range w.BRoot.Records() {
 		if seen[r.Querier] {
 			continue
 		}
@@ -174,18 +174,18 @@ func TestMRootPrefersAsia(t *testing.T) {
 	w := New(smallConfig())
 	w.Run()
 	asiaM, asiaB := 0, 0
-	for _, r := range w.MRoot.Records {
+	for _, r := range w.MRoot.Records() {
 		if w.Geo.Region(r.Querier) == "asia" {
 			asiaM++
 		}
 	}
-	for _, r := range w.BRoot.Records {
+	for _, r := range w.BRoot.Records() {
 		if w.Geo.Region(r.Querier) == "asia" {
 			asiaB++
 		}
 	}
-	fracM := float64(asiaM) / float64(len(w.MRoot.Records))
-	fracB := float64(asiaB) / float64(len(w.BRoot.Records))
+	fracM := float64(asiaM) / float64(len(w.MRoot.Records()))
+	fracB := float64(asiaB) / float64(len(w.BRoot.Records()))
 	if fracM <= fracB {
 		t.Errorf("asia fraction at M (%.2f) not above B (%.2f)", fracM, fracB)
 	}
@@ -197,7 +197,7 @@ func TestMSampling(t *testing.T) {
 	w := New(cfg)
 	w.Run()
 	seen := w.MRoot.Seen()
-	got := len(w.MRoot.Records)
+	got := len(w.MRoot.Records())
 	want := float64(seen) / 10
 	if math.Abs(float64(got)-want) > want*0.02+2 {
 		t.Errorf("sampled %d of %d, want ≈%0.f", got, seen, want)
