@@ -11,9 +11,10 @@
 
 GO ?= go
 RACE_PKGS = ./internal/cache ./internal/dnsserver ./internal/obs ./internal/report \
-	./internal/parallel ./internal/features ./internal/ml ./internal/classify
+	./internal/parallel ./internal/features ./internal/ml ./internal/classify \
+	./internal/stream
 
-.PHONY: verify fmt vet lint build test race bench bench-check budget prof-artifacts docs determinism chaos fuzz cover tracecheck trace-artifacts
+.PHONY: verify fmt vet lint build test race bench bench-check budget prof-artifacts docs determinism chaos fuzz cover tracecheck trace-artifacts soak
 
 verify: fmt vet lint build test race fuzz tracecheck budget docs
 	@echo "verify: all checks passed"
@@ -55,15 +56,27 @@ cover:
 	$(GO) run ./cmd/covercheck -floor 80 \
 		-pkgfloor dnsbackscatter/internal/lint=85 \
 		-pkgfloor dnsbackscatter/internal/prof=85 \
+		-pkgfloor dnsbackscatter/internal/stream=85 \
+		-pkgfloor dnsbackscatter/internal/hhh=85 \
+		-pkgfloor dnsbackscatter/internal/hll=90 \
 		-pkgfloor dnsbackscatter/cmd/bsserve=35 < cover-packages.txt
 	@rm -f cover-packages.txt
 
-# Short fuzz smoke on the wire codec: ten seconds per target. Crashers
-# land in internal/dnswire/testdata/fuzz/ and from then on run as plain
-# regression tests on every `go test`.
+# Short fuzz smoke on the wire codec and the streaming engine: ten
+# seconds per target. Crashers land in the package's testdata/fuzz/ and
+# from then on run as plain regression tests on every `go test`.
 fuzz:
 	$(GO) test ./internal/dnswire -run '^$$' -fuzz FuzzDecode -fuzztime 10s
 	$(GO) test ./internal/dnswire -run '^$$' -fuzz FuzzRoundTrip -fuzztime 10s
+	$(GO) test ./internal/stream -run '^$$' -fuzz FuzzStreamIngest -fuzztime 10s
+
+# Streaming-engine soak: ~700k records across 12 epochs at >10x the
+# engine's originator capacity, asserting the resource contract (hard
+# state bound, plateaued heap peaks, zero goroutine leaks, verdicts at
+# every tick). SOAK_DIR collects the per-epoch resource report, final
+# snapshot, and windowed series — the CI soak job uploads them.
+soak:
+	BS_SOAK=1 $(GO) test ./internal/stream -run TestStreamSoak -count=1 -v
 
 # Docs lint: exported-API doc comments (bslint apidoc) and Markdown
 # relative-link integrity (cmd/mdlint).
@@ -75,9 +88,11 @@ docs:
 # CI job runs this with GOMAXPROCS=2 so parallel paths really interleave.
 # TestScratchReuseInvariance extends the matrix with the PR 8 contract:
 # disabling every scratch-reuse/pooling optimization (DatasetSpec.NoReuse)
-# changes no output byte.
+# changes no output byte. TestStreamWorkerDeterminism extends it to the
+# PR 9 streaming engine: byte-identical snapshots, status, and replay
+# comparisons at workers {1, 8}.
 determinism:
-	$(GO) test -race -run 'TestSeedMatrixDeterminism|TestScratchReuseInvariance' -v .
+	$(GO) test -race -run 'TestSeedMatrixDeterminism|TestScratchReuseInvariance|TestStreamWorkerDeterminism' -v .
 
 # Chaos seed matrix: the full pipeline under deterministic fault
 # profiles (none / lossy / servfail-storm) × seeds × worker counts,

@@ -19,9 +19,20 @@
 // is the ops channel: alloc deltas, GC cycles, and worker peaks per
 // pipeline stage, scheduling-dependent by design; inspect it with
 // cmd/bsprof -report.
+//
+// Batch-vs-stream replay:
+//
+//	bsrepro -stream -scale 0.3                    # print the comparison
+//	bsrepro -stream -stream-out delta.json        # also write it as JSON
+//
+// -stream builds one JP dataset at -scale, trains the paper's classifier,
+// replays the records through the bounded-memory streaming engine, and
+// scores both paths against ground truth — the accuracy cost of sketched
+// features, per class. The report is deterministic at any -workers count.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -36,20 +47,60 @@ import (
 	"dnsbackscatter/internal/simtime"
 )
 
+// runStream is the -stream mode: build one JP dataset, train the paper's
+// classifier, replay the records through the streaming engine, and print
+// the per-class accuracy of both paths against ground truth.
+func runStream(scale float64, workers int, outPath string) error {
+	spec := backscatter.JPDitl().Scaled(scale)
+	if workers > 0 {
+		spec = spec.WithParallelism(workers)
+	}
+	fmt.Fprintf(os.Stderr, "bsrepro: building JP dataset at scale %g\n", scale)
+	d := backscatter.Build(spec)
+	model, err := d.TrainClassifier(1)
+	if err != nil {
+		return err
+	}
+	cmp := d.CompareStream(backscatter.DefaultStreamSpec(), model)
+
+	fmt.Printf("batch-vs-stream replay (JP, scale %g): %d batch / %d stream verdicts, %.1f%% agreement\n\n",
+		scale, cmp.BatchVerdicts, cmp.StreamVerdicts, 100*cmp.Agreement)
+	fmt.Printf("%-12s %7s  %8s %8s  %8s %8s  %7s %7s\n",
+		"class", "support", "batch-P", "batch-R", "strm-P", "strm-R", "dP", "dR")
+	for _, c := range cmp.PerClass {
+		fmt.Printf("%-12s %7d  %8.3f %8.3f  %8.3f %8.3f  %+7.3f %+7.3f\n",
+			c.Class, c.Support, c.BatchPrecision, c.BatchRecall,
+			c.StreamPrecision, c.StreamRecall, c.PrecisionDelta, c.RecallDelta)
+	}
+	if outPath != "" {
+		js, err := json.MarshalIndent(cmp, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(js, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "bsrepro: wrote comparison to %s\n", outPath)
+	}
+	return nil
+}
+
 func main() {
 	var (
-		scale   = flag.Float64("scale", 0.5, "dataset population scale (1 = spec defaults)")
-		exps    = flag.String("experiment", "all", "comma-separated experiment names, or all")
-		heavy   = flag.Bool("heavy", false, "run the most expensive trial points too")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		stats   = flag.Bool("stats", false, "print pipeline stage timings (µs) and metric totals after each experiment")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "pipeline worker goroutines (1 = sequential; output is identical either way)")
-		fspec   = flag.String("faults", "", `fault-injection profile@seed (e.g. "lossy@7") applied to every dataset; empty disables`)
-		trPath  = flag.String("trace", "", "write end-to-end lookup traces (sorted JSONL) to this file")
-		trSamp  = flag.Int("trace-sample", 1, "trace 1 in N lookups (head-based, deterministic); requires -trace")
-		tsPath  = flag.String("timeseries", "", "write windowed time-series metric buckets (JSON) to this file")
-		window  = flag.Duration("window", time.Hour, "simulated-time bucket width for -timeseries")
-		resPath = flag.String("resources", "", "write the per-stage resource report (JSON, scheduling-dependent) to this file")
+		scale     = flag.Float64("scale", 0.5, "dataset population scale (1 = spec defaults)")
+		exps      = flag.String("experiment", "all", "comma-separated experiment names, or all")
+		heavy     = flag.Bool("heavy", false, "run the most expensive trial points too")
+		list      = flag.Bool("list", false, "list experiments and exit")
+		stats     = flag.Bool("stats", false, "print pipeline stage timings (µs) and metric totals after each experiment")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "pipeline worker goroutines (1 = sequential; output is identical either way)")
+		fspec     = flag.String("faults", "", `fault-injection profile@seed (e.g. "lossy@7") applied to every dataset; empty disables`)
+		trPath    = flag.String("trace", "", "write end-to-end lookup traces (sorted JSONL) to this file")
+		trSamp    = flag.Int("trace-sample", 1, "trace 1 in N lookups (head-based, deterministic); requires -trace")
+		tsPath    = flag.String("timeseries", "", "write windowed time-series metric buckets (JSON) to this file")
+		window    = flag.Duration("window", time.Hour, "simulated-time bucket width for -timeseries")
+		resPath   = flag.String("resources", "", "write the per-stage resource report (JSON, scheduling-dependent) to this file")
+		streamOn  = flag.Bool("stream", false, "replay the dataset through the streaming engine and print the batch-vs-stream comparison, then exit")
+		streamOut = flag.String("stream-out", "", "also write the batch-vs-stream comparison (JSON) to this file; requires -stream")
 	)
 	flag.Parse()
 
@@ -63,6 +114,14 @@ func main() {
 	if _, err := backscatter.ParseFaults(*fspec); err != nil {
 		fmt.Fprintf(os.Stderr, "bsrepro: %v\n", err)
 		os.Exit(2)
+	}
+
+	if *streamOn {
+		if err := runStream(*scale, *workers, *streamOut); err != nil {
+			fmt.Fprintln(os.Stderr, "bsrepro:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	store := report.NewStore(*scale)

@@ -26,6 +26,15 @@
 // and limit=. Tracing keeps the most recent -trace-keep traces in a ring.
 // net/http/pprof profiling endpoints hang off /debug/pprof/.
 //
+// With -stream, every observed record also feeds a bounded-memory
+// streaming classification engine (sliding dedup, per-originator
+// sketches, hierarchical heavy hitters) that re-scores at -stream-epoch
+// boundaries of record time:
+//
+//	bsserve -addr 127.0.0.1:5353 -http 127.0.0.1:8080 -stream
+//	curl http://127.0.0.1:8080/stream                # canonical snapshot
+//	curl http://127.0.0.1:8080/stream?format=json    # status document
+//
 // With -profiles DIR, bsserve continuously profiles itself: rolling
 // CPU-profile windows of -profile-window each, plus heap snapshots
 // gated on -heap-growth, all in a bounded on-disk ring of
@@ -56,12 +65,29 @@ import (
 	"dnsbackscatter/internal/dnslog"
 	"dnsbackscatter/internal/dnsserver"
 	"dnsbackscatter/internal/dnssim"
+	"dnsbackscatter/internal/geo"
 	"dnsbackscatter/internal/ipaddr"
 	"dnsbackscatter/internal/obs"
 	"dnsbackscatter/internal/prof"
 	"dnsbackscatter/internal/simtime"
+	"dnsbackscatter/internal/stream"
 	"dnsbackscatter/internal/trace"
 )
+
+// serveStream exposes the streaming engine on /stream: the canonical
+// text snapshot (verdicts, sketch summaries, heavy hitters) by default,
+// the status document with ?format=json.
+func serveStream(e *stream.Engine) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write(e.StatusJSON())
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write(e.Snapshot())
+	}
+}
 
 // serveTraces exposes the tracer's ring on /traces: span trees by
 // default, JSON with ?format=json, filtered by originator=, querier=,
@@ -144,7 +170,7 @@ func serveMetricsText(reg *obs.Registry) http.HandlerFunc {
 // load balancers expect between "process is up" and "safe to route
 // to". /debug/ (pprof, expvar) delegates to the default mux, where
 // those packages self-register.
-func newMux(reg *obs.Registry, win *obs.Window, tr *trace.Tracer, cont *prof.Continuous, ready *atomic.Bool) *http.ServeMux {
+func newMux(reg *obs.Registry, win *obs.Window, tr *trace.Tracer, cont *prof.Continuous, eng *stream.Engine, ready *atomic.Bool) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -173,6 +199,9 @@ func newMux(reg *obs.Registry, win *obs.Window, tr *trace.Tracer, cont *prof.Con
 		h := cont.Handler()
 		mux.Handle("/profiles", h)
 		mux.Handle("/profiles/", h)
+	}
+	if eng != nil {
+		mux.HandleFunc("/stream", serveStream(eng))
 	}
 	mux.Handle("/debug/", http.DefaultServeMux)
 	return mux
@@ -234,6 +263,9 @@ func main() {
 		profWindow = flag.Duration("profile-window", 30*time.Second, "width of each rolling CPU-profile window")
 		profKeep   = flag.Int("profile-keep", 8, "bound the profile ring to N files per kind (cpu, heap)")
 		heapGrowth = flag.Int64("heap-growth", 16<<20, "heap snapshot when HeapAlloc grew this many bytes since the last one (0 snapshots every window)")
+		streamOn   = flag.Bool("stream", false, "feed observed records through the streaming classification engine (served on /stream)")
+		streamEp   = flag.Duration("stream-epoch", time.Hour, "record-time re-scoring cadence of the streaming engine")
+		streamMax  = flag.Int("stream-max", 1<<16, "bound the streaming engine's tracked originators")
 	)
 	flag.Parse()
 
@@ -286,11 +318,34 @@ func main() {
 		go profileLoop(cont, *profWindow)
 	}
 
+	// The streaming engine classifies live backscatter in bounded
+	// memory, ticking on record time (no model is loaded here, so it
+	// keeps sketches and heavy hitters without verdicts). Its geo view
+	// and reverse names come from the same seeded synthetic zone the
+	// server answers from.
+	mkEngine := func(reg *obs.Registry) *stream.Engine {
+		return stream.New(stream.Config{
+			Geo: geo.NewRegistry(*seed),
+			NameOf: func(a ipaddr.Addr) (string, bool) {
+				p := profile(a)
+				if !p.HasName {
+					return "", p.FinalUnreachable
+				}
+				return p.Name, p.FinalUnreachable
+			},
+			Epoch:          simtime.Duration(*streamEp / time.Second),
+			MaxOriginators: *streamMax,
+			Seed:           *seed,
+			Obs:            reg,
+		})
+	}
+
 	// Windowed record counters, fed from the sink below with each
 	// record's own timestamp (an operational main may window on wall
 	// time; the library's determinism rules bind simulations, not
 	// servers).
 	var recTotal, recNX *obs.Counter
+	var eng *stream.Engine
 	var ready atomic.Bool
 	if *httpAddr != "" {
 		reg := obs.NewRegistry()
@@ -306,13 +361,21 @@ func main() {
 			tr.SetMax(*trKeep)
 			s.SetTracer(tr)
 		}
-		go serveHTTP(*httpAddr, newMux(reg, win, tr, cont, &ready), reg)
+		if *streamOn {
+			eng = mkEngine(reg)
+		}
+		go serveHTTP(*httpAddr, newMux(reg, win, tr, cont, eng, &ready), reg)
+	} else if *streamOn {
+		eng = mkEngine(nil)
 	}
 
 	observe := func(r dnslog.Record) {
 		recTotal.IncAt(simtime.Time(r.Time))
 		if r.RCode == 3 {
 			recNX.IncAt(simtime.Time(r.Time))
+		}
+		if eng != nil {
+			eng.Ingest([]dnslog.Record{r})
 		}
 	}
 
@@ -351,4 +414,9 @@ func main() {
 	signal.Notify(sig, os.Interrupt)
 	<-sig
 	fmt.Fprintf(os.Stderr, "\nbsserve: %d queries served, %d datagrams dropped\n", s.Queries(), s.Dropped())
+	if eng != nil {
+		st := eng.Status()
+		fmt.Fprintf(os.Stderr, "bsserve: stream tracked %d/%d originators over %d records (%d epochs)\n",
+			st.Tracked, st.MaxTracked, st.Records, st.Epochs)
+	}
 }

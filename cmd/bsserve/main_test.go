@@ -7,9 +7,14 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"dnsbackscatter/internal/dnslog"
+	"dnsbackscatter/internal/geo"
+	"dnsbackscatter/internal/ipaddr"
 	"dnsbackscatter/internal/obs"
 	"dnsbackscatter/internal/prof"
+	"dnsbackscatter/internal/rng"
 	"dnsbackscatter/internal/simtime"
+	"dnsbackscatter/internal/stream"
 	"dnsbackscatter/internal/trace"
 )
 
@@ -26,7 +31,7 @@ func get(t *testing.T, mux *http.ServeMux, path string) (int, string) {
 // of readiness.
 func TestHealthz(t *testing.T) {
 	var ready atomic.Bool
-	mux := newMux(nil, nil, nil, nil, &ready)
+	mux := newMux(nil, nil, nil, nil, nil, &ready)
 	if code, body := get(t, mux, "/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
 		t.Fatalf("/healthz = %d %q", code, body)
 	}
@@ -37,7 +42,7 @@ func TestHealthz(t *testing.T) {
 // without one never reports ready).
 func TestReadyzFlips(t *testing.T) {
 	var ready atomic.Bool
-	mux := newMux(nil, nil, nil, nil, &ready)
+	mux := newMux(nil, nil, nil, nil, nil, &ready)
 	if code, body := get(t, mux, "/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "loading") {
 		t.Fatalf("before flip: /readyz = %d %q", code, body)
 	}
@@ -45,7 +50,7 @@ func TestReadyzFlips(t *testing.T) {
 	if code, body := get(t, mux, "/readyz"); code != http.StatusOK || !strings.Contains(body, "ready") {
 		t.Fatalf("after flip: /readyz = %d %q", code, body)
 	}
-	nilMux := newMux(nil, nil, nil, nil, nil)
+	nilMux := newMux(nil, nil, nil, nil, nil, nil)
 	if code, _ := get(t, nilMux, "/readyz"); code != http.StatusServiceUnavailable {
 		t.Fatalf("nil flag: /readyz = %d, want 503", code)
 	}
@@ -58,7 +63,7 @@ func TestMetricsAndTimeseries(t *testing.T) {
 	win := obs.NewWindow(simtime.Duration(60))
 	reg.SetWindow(win)
 	reg.Counter("served_records_total").IncAt(simtime.Time(5))
-	mux := newMux(reg, win, nil, nil, nil)
+	mux := newMux(reg, win, nil, nil, nil, nil)
 
 	if code, body := get(t, mux, "/metrics"); code != http.StatusOK || !strings.Contains(body, "served_records_total") {
 		t.Fatalf("/metrics = %d %q", code, body)
@@ -81,7 +86,7 @@ func TestMetricsAndTimeseries(t *testing.T) {
 // rejections.
 func TestTracesRoute(t *testing.T) {
 	tr := trace.New(1, 1)
-	mux := newMux(nil, nil, tr, nil, nil)
+	mux := newMux(nil, nil, tr, nil, nil, nil)
 	if code, body := get(t, mux, "/traces"); code != http.StatusOK || !strings.Contains(body, "traces held") {
 		t.Fatalf("/traces = %d %q", code, body)
 	}
@@ -107,7 +112,7 @@ func TestProfilesRoute(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mux := newMux(nil, nil, nil, cont, nil)
+	mux := newMux(nil, nil, nil, cont, nil, nil)
 
 	code, body := get(t, mux, "/profiles")
 	if code != http.StatusOK || !strings.Contains(body, name) {
@@ -121,10 +126,44 @@ func TestProfilesRoute(t *testing.T) {
 	}
 }
 
+// TestStreamRoute pins the streaming-engine mount: the canonical text
+// snapshot, the JSON status, and the 404 when -stream is off.
+func TestStreamRoute(t *testing.T) {
+	eng := stream.New(stream.Config{
+		Geo:    geo.NewRegistry(1),
+		NameOf: func(ipaddr.Addr) (string, bool) { return "host.example.net", false },
+		Epoch:  simtime.Hour,
+		Seed:   1,
+	})
+	st := rng.New(3)
+	recs := make([]dnslog.Record, 0, 64)
+	for i := 0; i < 64; i++ {
+		recs = append(recs, dnslog.Record{
+			Time:       simtime.Time(i * 10),
+			Originator: ipaddr.MustParse("10.0.0.1"),
+			Querier:    ipaddr.Addr(st.Uint64()),
+		})
+	}
+	eng.Ingest(recs)
+	eng.Tick(simtime.Time(simtime.Hour))
+	mux := newMux(nil, nil, nil, nil, eng, nil)
+
+	if code, body := get(t, mux, "/stream"); code != http.StatusOK || !strings.Contains(body, "originators") {
+		t.Fatalf("/stream = %d %q", code, body)
+	}
+	if code, body := get(t, mux, "/stream?format=json"); code != http.StatusOK || !strings.Contains(body, "\"tracked\"") {
+		t.Fatalf("/stream?format=json = %d %q", code, body)
+	}
+	bare := newMux(nil, nil, nil, nil, nil, nil)
+	if code, _ := get(t, bare, "/stream"); code != http.StatusNotFound {
+		t.Fatalf("/stream without engine = %d, want 404", code)
+	}
+}
+
 // TestProfilesUnmounted pins that a mux without a profiler 404s the
 // route instead of panicking.
 func TestProfilesUnmounted(t *testing.T) {
-	mux := newMux(nil, nil, nil, nil, nil)
+	mux := newMux(nil, nil, nil, nil, nil, nil)
 	if code, _ := get(t, mux, "/profiles"); code != http.StatusNotFound {
 		t.Fatalf("/profiles without ring = %d, want 404", code)
 	}

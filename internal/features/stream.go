@@ -1,14 +1,14 @@
 package features
 
 import (
-	"container/heap"
+	"cmp"
+	"slices"
 	"sort"
 
 	"dnsbackscatter/internal/dnslog"
 	"dnsbackscatter/internal/geo"
 	"dnsbackscatter/internal/hll"
 	"dnsbackscatter/internal/ipaddr"
-	"dnsbackscatter/internal/qname"
 	"dnsbackscatter/internal/simtime"
 )
 
@@ -18,9 +18,10 @@ import (
 // affordable. Per originator it keeps:
 //
 //   - a HyperLogLog sketch of querier addresses (the footprint estimate),
-//   - a bottom-k sketch (KMV): the k queriers with the smallest hashes, a
-//     uniform sample of the *distinct* queriers, from which static name
-//     fractions, entropies, and AS/country dispersion are estimated,
+//   - a bottom-k sketch (hll.BottomK): the k queriers with the smallest
+//     hashes, a uniform sample of the *distinct* queriers, from which
+//     static name fractions, entropies, and AS/country dispersion are
+//     estimated,
 //   - an exact query counter and a 10-minute persistence bitset.
 //
 // Deduplication uses a fixed-size last-seen table keyed by pair hash;
@@ -28,6 +29,9 @@ import (
 // scales. When the originator table exceeds MaxOriginators, originators
 // with the smallest footprints are evicted — they are the unanalyzable
 // tail the batch pipeline drops anyway.
+//
+// The snapshot math is shared with the sharded streaming engine
+// (internal/stream) through SketchStats / NormsFromStats / SketchVector.
 type StreamExtractor struct {
 	Geo    *geo.Registry
 	NameOf NameFunc
@@ -70,56 +74,9 @@ func NewStreamExtractor(g *geo.Registry, nameOf NameFunc) *StreamExtractor {
 // streamAgg is one originator's bounded state.
 type streamAgg struct {
 	queriers *hll.Sketch
-	sample   kmv
+	sample   *hll.BottomK[ipaddr.Addr]
 	queries  int
 	buckets  map[int]struct{}
-}
-
-// kmv keeps the k distinct queriers with the smallest hashes (a max-heap
-// on hash so the largest is evictable in O(log k)).
-type kmv struct {
-	k      int
-	hashes []uint64
-	addrs  map[uint64]ipaddr.Addr
-}
-
-// Len implements heap.Interface.
-func (s *kmv) Len() int { return len(s.hashes) }
-
-// Less implements heap.Interface; > hash makes this a max-heap.
-func (s *kmv) Less(i, j int) bool { return s.hashes[i] > s.hashes[j] }
-
-// Swap implements heap.Interface.
-func (s *kmv) Swap(i, j int) { s.hashes[i], s.hashes[j] = s.hashes[j], s.hashes[i] }
-
-// Push implements heap.Interface.
-func (s *kmv) Push(x any) { s.hashes = append(s.hashes, x.(uint64)) }
-
-// Pop implements heap.Interface.
-func (s *kmv) Pop() any {
-	old := s.hashes
-	n := len(old)
-	v := old[n-1]
-	s.hashes = old[:n-1]
-	return v
-}
-
-func (s *kmv) add(h uint64, a ipaddr.Addr) {
-	if _, dup := s.addrs[h]; dup {
-		return
-	}
-	if len(s.hashes) < s.k {
-		s.addrs[h] = a
-		heap.Push(s, h)
-		return
-	}
-	if h >= s.hashes[0] {
-		return // larger than the current k-th smallest
-	}
-	delete(s.addrs, s.hashes[0])
-	s.hashes[0] = h
-	s.addrs[h] = a
-	heap.Fix(s, 0)
 }
 
 // Observe feeds one record through dedup into the sketches.
@@ -141,7 +98,7 @@ func (x *StreamExtractor) Observe(r dnslog.Record) {
 		}
 		a = &streamAgg{
 			queriers: hll.MustNew(11),
-			sample:   kmv{k: x.sampleK(), addrs: make(map[uint64]ipaddr.Addr)},
+			sample:   hll.NewBottomK[ipaddr.Addr](x.sampleK()),
 			buckets:  make(map[int]struct{}),
 		}
 		x.aggs[r.Originator] = a
@@ -149,7 +106,7 @@ func (x *StreamExtractor) Observe(r dnslog.Record) {
 	a.queries++
 	h := hll.Hash64(uint64(r.Querier))
 	a.queriers.Add(h)
-	a.sample.add(h, r.Querier)
+	a.sample.Add(h, r.Querier)
 	a.buckets[r.Time.TenMinuteBucket()] = struct{}{}
 }
 
@@ -177,7 +134,12 @@ func (x *StreamExtractor) evict() {
 	for a, agg := range x.aggs {
 		all = append(all, entry{a, agg.queriers.Estimate()})
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i].n < all[j].n })
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n < all[j].n
+		}
+		return all[i].a < all[j].a
+	})
 	for _, e := range all[:len(all)/2] {
 		delete(x.aggs, e.a)
 	}
@@ -186,99 +148,40 @@ func (x *StreamExtractor) evict() {
 // Tracked reports how many originators currently hold state.
 func (x *StreamExtractor) Tracked() int { return len(x.aggs) }
 
+// Stats returns every tracked originator's sketch summary in ascending
+// originator order — the input NormsFromStats and SketchVector consume.
+func (x *StreamExtractor) Stats() []SketchStats {
+	stats := make([]SketchStats, 0, len(x.aggs))
+	for orig, a := range x.aggs {
+		stats = append(stats, SketchStats{
+			Originator: orig,
+			Estimate:   int(a.queriers.Estimate()),
+			Queries:    a.queries,
+			Buckets:    len(a.buckets),
+			Sample:     a.sample.Values(),
+		})
+	}
+	slices.SortFunc(stats, func(a, b SketchStats) int {
+		return cmp.Compare(a.Originator, b.Originator)
+	})
+	return stats
+}
+
 // Snapshot produces vectors for every originator whose estimated footprint
 // clears the threshold. Statics and spatial features come from the
 // bottom-k sample; Queriers carries the HLL estimate.
 func (x *StreamExtractor) Snapshot(start simtime.Time, dur simtime.Duration) []*Vector {
-	totalBuckets := int(dur / (10 * simtime.Minute))
-	if totalBuckets < 1 {
-		totalBuckets = 1
-	}
-
-	// Interval-level normalizers from the union of samples.
-	allAS := make(map[int]struct{})
-	allCountry := make(map[string]struct{})
-	allQueriers := make(map[ipaddr.Addr]struct{})
-	for _, a := range x.aggs {
-		for _, q := range a.sample.addrs {
-			if _, seen := allQueriers[q]; seen {
-				continue
-			}
-			allQueriers[q] = struct{}{}
-			allAS[x.Geo.ASN(q)] = struct{}{}
-			allCountry[x.Geo.Country(q)] = struct{}{}
-		}
-	}
-	// The samples undercount global uniques; scale the querier-total
-	// normalizer by the ratio of HLL mass to sampled mass.
-	var hllMass, sampleMass float64
-	for _, a := range x.aggs {
-		hllMass += float64(a.queriers.Estimate())
-		sampleMass += float64(len(a.sample.addrs))
-	}
-	totalQueriers := len(allQueriers)
-	if sampleMass > 0 {
-		totalQueriers = int(float64(totalQueriers) * hllMass / sampleMass)
-	}
-
-	var out []*Vector
-	for orig, a := range x.aggs {
-		est := int(a.queriers.Estimate())
-		if est < x.MinQueriers {
+	stats := x.Stats()
+	norms := NormsFromStats(x.Geo, stats, dur)
+	out := make([]*Vector, 0, len(stats))
+	for _, st := range stats {
+		if st.Estimate < x.MinQueriers {
 			continue
 		}
-		v := &Vector{Originator: orig, Queriers: est, Queries: a.queries}
-
-		counts24 := make(map[uint32]int)
-		counts8 := make(map[byte]int)
-		ases := make(map[int]struct{})
-		countries := make(map[string]struct{})
-		n := 0
-		for _, q := range a.sample.addrs {
-			n++
-			name, unreach := x.NameOf(q)
-			cat := qname.Classify(name)
-			if unreach {
-				cat = qname.Unreach
-			}
-			v.X[int(cat)]++
-			counts24[q.Slash24()]++
-			counts8[q.Slash8()]++
-			ases[x.Geo.ASN(q)] = struct{}{}
-			countries[x.Geo.Country(q)] = struct{}{}
+		if v := SketchVector(x.Geo, x.NameOf, st, norms); v != nil {
+			out = append(out, v)
 		}
-		if n == 0 {
-			continue
-		}
-		for i := 0; i < NumStatic; i++ {
-			v.X[i] /= float64(n)
-		}
-		d := v.X[NumStatic:]
-		d[DynQueriesPerQuerier] = float64(a.queries) / float64(est)
-		d[DynPersistence] = float64(len(a.buckets)) / float64(totalBuckets)
-		d[DynLocalEntropy] = normEntropy24(counts24, n)
-		d[DynGlobalEntropy] = normEntropy8(counts8, n)
-		// Dispersion scales from the sample to the full footprint.
-		scale := float64(est) / float64(n)
-		d[DynUniqueASes] = ratio(int(float64(len(ases))*scale+0.5), len(allAS))
-		if d[DynUniqueASes] > 1 {
-			d[DynUniqueASes] = 1
-		}
-		d[DynUniqueCountries] = ratio(len(countries), len(allCountry))
-		if len(countries) > 0 && totalQueriers > 0 {
-			d[DynQueriersPerCountry] = float64(est) / float64(len(countries)) / float64(totalQueriers)
-		}
-		if len(ases) > 0 && totalQueriers > 0 {
-			est24 := float64(len(ases)) * scale
-			d[DynQueriersPerAS] = float64(est) / est24 / float64(totalQueriers)
-		}
-		out = append(out, v)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Queriers != out[j].Queriers {
-			return out[i].Queriers > out[j].Queriers
-		}
-		return out[i].Originator < out[j].Originator
-	})
+	SortVectors(out)
 	return out
 }

@@ -135,8 +135,8 @@ func TestStreamMemoryBounded(t *testing.T) {
 			Querier: ipaddr.Addr(st.Uint64())})
 	}
 	agg := x.aggs[o]
-	if len(agg.sample.addrs) > 64 {
-		t.Errorf("sample grew to %d > k", len(agg.sample.addrs))
+	if agg.sample.Len() > 64 {
+		t.Errorf("sample grew to %d > k", agg.sample.Len())
 	}
 	est := int(agg.queriers.Estimate())
 	if est < 45000 || est > 55000 {
@@ -161,7 +161,7 @@ func TestKMVIsUniformOverDistinct(t *testing.T) {
 			Querier: ipaddr.Addr(st.Uint64())})
 	}
 	hotCount := 0
-	for _, a := range x.aggs[o].sample.addrs {
+	for _, a := range x.aggs[o].sample.Values() {
 		if a == hot {
 			hotCount++
 		}

@@ -1,0 +1,130 @@
+package hll
+
+import (
+	"cmp"
+	"slices"
+)
+
+// BottomK is a KMV (k minimum values) distinct sample: it retains the k
+// items whose 64-bit hashes are smallest, which — under a uniform hash —
+// is a uniform random sample of the *distinct* items seen, however
+// skewed the raw stream is. The streaming pipeline uses it to estimate
+// static name fractions, entropies, and AS/country dispersion from a
+// bounded per-originator sample. Internally a max-heap on hash keeps the
+// largest retained hash evictable in O(log k).
+//
+// The sample is a pure function of the distinct (hash, value) set fed
+// in: insertion order never changes the retained set, so merged or
+// replayed streams produce byte-identical samples.
+type BottomK[V cmp.Ordered] struct {
+	k      int
+	hashes []uint64 // max-heap on hash
+	vals   map[uint64]V
+}
+
+// NewBottomK returns a bottom-k sample retaining the k smallest-hash
+// distinct items (k < 1 is clamped to 1).
+func NewBottomK[V cmp.Ordered](k int) *BottomK[V] {
+	if k < 1 {
+		k = 1
+	}
+	return &BottomK[V]{k: k, vals: make(map[uint64]V, k)}
+}
+
+// K returns the sample capacity.
+func (b *BottomK[V]) K() int { return b.k }
+
+// Len returns the current number of sampled items.
+func (b *BottomK[V]) Len() int { return len(b.hashes) }
+
+// Add offers one (hash, value) observation. Items hash their identity
+// exactly once (the sensor uses Hash64); duplicates of a retained hash
+// are no-ops, so hot items occupy at most one slot.
+func (b *BottomK[V]) Add(h uint64, v V) {
+	if _, dup := b.vals[h]; dup {
+		return
+	}
+	if len(b.hashes) < b.k {
+		b.vals[h] = v
+		b.hashes = append(b.hashes, h)
+		b.siftUp(len(b.hashes) - 1)
+		return
+	}
+	if h >= b.hashes[0] {
+		return // larger than the current k-th smallest
+	}
+	delete(b.vals, b.hashes[0])
+	b.hashes[0] = h
+	b.vals[h] = v
+	b.siftDown(0)
+}
+
+// siftUp restores the max-heap above index i.
+func (b *BottomK[V]) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if b.hashes[p] >= b.hashes[i] {
+			return
+		}
+		b.hashes[p], b.hashes[i] = b.hashes[i], b.hashes[p]
+		i = p
+	}
+}
+
+// siftDown restores the max-heap below index i.
+func (b *BottomK[V]) siftDown(i int) {
+	n := len(b.hashes)
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < n && b.hashes[l] > b.hashes[big] {
+			big = l
+		}
+		if r < n && b.hashes[r] > b.hashes[big] {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		b.hashes[i], b.hashes[big] = b.hashes[big], b.hashes[i]
+		i = big
+	}
+}
+
+// Merge folds other's sample into b: the result is exactly the bottom-k
+// of the union of both distinct sets, so sharded samples recombine into
+// the sample a single stream would have produced.
+func (b *BottomK[V]) Merge(other *BottomK[V]) {
+	if other == nil {
+		return
+	}
+	for _, h := range other.hashes {
+		b.Add(h, other.vals[h])
+	}
+}
+
+// Values returns the sampled values in ascending hash order — a
+// canonical, deterministic iteration order for downstream feature
+// computation and snapshots.
+func (b *BottomK[V]) Values() []V {
+	hs := slices.Clone(b.hashes)
+	slices.Sort(hs)
+	out := make([]V, len(hs))
+	for i, h := range hs {
+		out[i] = b.vals[h]
+	}
+	return out
+}
+
+// Hashes returns the retained hashes in ascending order.
+func (b *BottomK[V]) Hashes() []uint64 {
+	hs := slices.Clone(b.hashes)
+	slices.Sort(hs)
+	return hs
+}
+
+// Reset clears the sample for reuse, keeping capacity.
+func (b *BottomK[V]) Reset() {
+	b.hashes = b.hashes[:0]
+	clear(b.vals)
+}

@@ -8,6 +8,13 @@
 // fixed space with ~1.04/sqrt(2^p) relative error, comfortably inside the
 // ≥20-querier analyzability threshold's tolerance. The streaming extractor
 // uses it; the exact extractor remains the default for small datasets.
+//
+// The package also provides BottomK, the KMV (k minimum values) distinct
+// sample that pairs with the HLL in every streaming aggregate: the HLL
+// answers "how many distinct queriers", the bottom-k answers "which ones,
+// uniformly" in the same bounded space. Both sketches merge losslessly
+// (register max / bottom-k of the union), which is what lets sharded
+// streaming state recombine into byte-deterministic snapshots.
 package hll
 
 import (
@@ -95,6 +102,37 @@ func (s *Sketch) Merge(other *Sketch) error {
 		}
 	}
 	return nil
+}
+
+// Clone returns an independent copy of the sketch.
+func (s *Sketch) Clone() *Sketch {
+	c := &Sketch{p: s.p, registers: make([]uint8, len(s.registers))}
+	copy(c.registers, s.registers)
+	return c
+}
+
+// Equal reports whether two sketches have identical precision and
+// register state — the byte-level identity that merge and snapshot
+// determinism tests pin.
+func (s *Sketch) Equal(other *Sketch) bool {
+	if other == nil || s.p != other.p {
+		return false
+	}
+	for i, r := range s.registers {
+		if r != other.registers[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AppendBinary appends the sketch's canonical serialization (precision
+// byte followed by the raw registers) to dst. Two sketches serialize
+// identically iff Equal reports true, so snapshot artifacts built from
+// sketches are byte-deterministic.
+func (s *Sketch) AppendBinary(dst []byte) []byte {
+	dst = append(dst, s.p)
+	return append(dst, s.registers...)
 }
 
 // Reset clears the sketch for reuse.
