@@ -12,7 +12,7 @@
 GO ?= go
 RACE_PKGS = ./internal/cache ./internal/dnsserver ./internal/obs ./internal/report \
 	./internal/parallel ./internal/features ./internal/ml ./internal/classify \
-	./internal/stream
+	./internal/stream ./internal/alert
 
 .PHONY: verify fmt vet lint build test race bench bench-check budget prof-artifacts docs determinism chaos fuzz cover tracecheck trace-artifacts soak
 
@@ -59,6 +59,7 @@ cover:
 		-pkgfloor dnsbackscatter/internal/stream=85 \
 		-pkgfloor dnsbackscatter/internal/hhh=85 \
 		-pkgfloor dnsbackscatter/internal/hll=90 \
+		-pkgfloor dnsbackscatter/internal/alert=85 \
 		-pkgfloor dnsbackscatter/cmd/bsserve=35 < cover-packages.txt
 	@rm -f cover-packages.txt
 
@@ -90,9 +91,11 @@ docs:
 # disabling every scratch-reuse/pooling optimization (DatasetSpec.NoReuse)
 # changes no output byte. TestStreamWorkerDeterminism extends it to the
 # PR 9 streaming engine: byte-identical snapshots, status, and replay
-# comparisons at workers {1, 8}.
+# comparisons at workers {1, 8}. TestAlertDeterminism extends it to the
+# PR 10 alert engine: byte-identical transition logs with a full
+# pending -> firing -> resolved cycle under servfail-storm.
 determinism:
-	$(GO) test -race -run 'TestSeedMatrixDeterminism|TestScratchReuseInvariance|TestStreamWorkerDeterminism' -v .
+	$(GO) test -race -run 'TestSeedMatrixDeterminism|TestScratchReuseInvariance|TestStreamWorkerDeterminism|TestAlertDeterminism' -v .
 
 # Chaos seed matrix: the full pipeline under deterministic fault
 # profiles (none / lossy / servfail-storm) × seeds × worker counts,
@@ -109,12 +112,15 @@ tracecheck:
 	$(GO) test -run TestChaosTraceDeterminism -count=1 .
 
 # Reference tracing artifacts: a small faulted reproduction run whose
-# end-to-end traces and windowed time series CI uploads from the chaos
-# job. Render the traces with `go run ./cmd/bstrace -in traces.jsonl`.
+# end-to-end traces, windowed time series, and alert transition log CI
+# uploads from the chaos job. Render the traces with `go run
+# ./cmd/bstrace -in traces.jsonl`; replay the alerts with `go run
+# ./cmd/bswatch -timeseries timeseries.json -traces traces.jsonl`.
 trace-artifacts:
 	$(GO) run ./cmd/bsrepro -scale 0.08 -experiment figure3 -faults lossy@7 \
 		-trace traces.jsonl -trace-sample 8 \
-		-timeseries timeseries.json -window 2h > /dev/null
+		-timeseries timeseries.json -window 2h \
+		-alerts alerts.jsonl > /dev/null
 
 # Benchmark trajectory: run the paper-reproduction benchmark suite once
 # per benchmark and record name/ns/op/B/op/allocs into BENCH_PR8.json so

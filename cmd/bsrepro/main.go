@@ -13,9 +13,15 @@
 //	bsrepro -experiment table1 -trace traces.jsonl       # end-to-end lookup traces
 //	bsrepro -experiment table1 -timeseries ts.json       # windowed metric buckets
 //	bsrepro -experiment table1 -resources res.json       # per-stage resource report
+//	bsrepro -experiment table1 -alerts alerts.jsonl      # alert transition log
 //
-// Trace JSONL and the windowed time-series JSON are byte-identical at any
-// -workers count; render traces with cmd/bstrace. The -resources report
+// -alerts replays alert/SLO rules (built-in, or a file via -rules) over
+// the windowed metrics after the experiments finish and writes the
+// state-machine transition log; with -trace active, firing transitions
+// carry worst-offender trace IDs. Trace JSONL, the windowed time-series
+// JSON, and the alert transition log are byte-identical at any -workers
+// count; render traces with cmd/bstrace and replay rules offline with
+// cmd/bswatch. The -resources report
 // is the ops channel: alloc deltas, GC cycles, and worker peaks per
 // pipeline stage, scheduling-dependent by design; inspect it with
 // cmd/bsprof -report.
@@ -42,9 +48,11 @@ import (
 
 	backscatter "dnsbackscatter"
 
+	"dnsbackscatter/internal/alert"
 	"dnsbackscatter/internal/obs"
 	"dnsbackscatter/internal/report"
 	"dnsbackscatter/internal/simtime"
+	"dnsbackscatter/internal/trace"
 )
 
 // runStream is the -stream mode: build one JP dataset, train the paper's
@@ -101,6 +109,8 @@ func main() {
 		resPath   = flag.String("resources", "", "write the per-stage resource report (JSON, scheduling-dependent) to this file")
 		streamOn  = flag.Bool("stream", false, "replay the dataset through the streaming engine and print the batch-vs-stream comparison, then exit")
 		streamOut = flag.String("stream-out", "", "also write the batch-vs-stream comparison (JSON) to this file; requires -stream")
+		alPath    = flag.String("alerts", "", "replay alert rules over the windowed metrics and write the transition log (sorted JSONL) to this file")
+		rulesPath = flag.String("rules", "", "alert rule file for -alerts; empty uses the built-in rules")
 	)
 	flag.Parse()
 
@@ -137,7 +147,7 @@ func main() {
 	}
 
 	var reg *obs.Registry
-	if *stats || *tsPath != "" {
+	if *stats || *tsPath != "" || *alPath != "" {
 		reg = obs.NewRegistry()
 		store.Obs = reg
 	}
@@ -150,7 +160,7 @@ func main() {
 		// seconds would round to zero.
 		reg.SetClock(func() simtime.Time { return simtime.Time(time.Now().UnixMicro()) })
 	}
-	if *tsPath != "" {
+	if *tsPath != "" || *alPath != "" {
 		width := simtime.Duration(*window / time.Second)
 		reg.SetWindow(obs.NewWindow(width))
 	}
@@ -210,6 +220,39 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "bsrepro: wrote windowed time series (%s buckets) to %s\n", *window, *tsPath)
+	}
+	if *alPath != "" {
+		rules := alert.DefaultRules()
+		if *rulesPath != "" {
+			src, err := os.ReadFile(*rulesPath)
+			if err == nil {
+				rules, err = alert.Parse(string(src))
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bsrepro:", err)
+				os.Exit(2)
+			}
+		}
+		eng := alert.New(rules)
+		// Worst-offender exemplars merge across every traced dataset the
+		// experiments built (empty without -trace: transitions then carry
+		// no trace IDs, and the log bytes stay deterministic either way).
+		exemplars := func(from, to simtime.Time, n int) []trace.Exemplar {
+			var lists [][]trace.Exemplar
+			for _, d := range store.Datasets() {
+				if t := d.Tracer(); t != nil {
+					lists = append(lists, t.Exemplars(from, to, n))
+				}
+			}
+			return trace.MergeExemplars(n, lists...)
+		}
+		eng.Eval(alert.Data{Series: reg.Window().Timeseries(), Exemplars: exemplars})
+		if err := os.WriteFile(*alPath, eng.JSONL(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "bsrepro:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bsrepro: wrote %d alert transitions (%d rules, %d firing) to %s\n",
+			len(eng.Log()), len(rules), eng.Firing(), *alPath)
 	}
 	if *resPath != "" {
 		if err := os.WriteFile(*resPath, store.Acct.Report().JSON(), 0o644); err != nil {

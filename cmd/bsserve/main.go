@@ -13,8 +13,10 @@
 // time series, and health endpoints:
 //
 //	bsserve -addr 127.0.0.1:5353 -http 127.0.0.1:8080
+//	curl http://127.0.0.1:8080/                      # endpoint directory
 //	curl http://127.0.0.1:8080/metrics               # sorted text
 //	curl http://127.0.0.1:8080/metrics?format=json   # same, as JSON
+//	curl http://127.0.0.1:8080/metrics.json          # always JSON
 //	curl http://127.0.0.1:8080/traces                # recent span trees
 //	curl 'http://127.0.0.1:8080/traces?rcode=nxdomain&format=json'
 //	curl http://127.0.0.1:8080/timeseries            # bucketed sparklines
@@ -44,6 +46,14 @@
 //	curl http://127.0.0.1:8080/profiles              # ring listing
 //	curl -O http://127.0.0.1:8080/profiles/cpu-000001.pprof
 //	go run ./cmd/bsprof -heap heap-000002.pprof -paths
+//
+// With -alerts (a rule file, or "default" for the built-in rules),
+// bsserve re-evaluates the rules against the live window every
+// -alert-every and serves the state machine:
+//
+//	bsserve -addr 127.0.0.1:5353 -http 127.0.0.1:8080 -alerts default
+//	curl http://127.0.0.1:8080/alerts                # dashboard + transition tail
+//	curl 'http://127.0.0.1:8080/alerts?state=firing&format=json'
 package main
 
 import (
@@ -56,12 +66,12 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
-	"strings"
 	"sync/atomic"
 	"time"
 
 	backscatter "dnsbackscatter"
 
+	"dnsbackscatter/internal/alert"
 	"dnsbackscatter/internal/dnslog"
 	"dnsbackscatter/internal/dnsserver"
 	"dnsbackscatter/internal/dnssim"
@@ -150,16 +160,58 @@ func serveTimeseries(win *obs.Window) http.HandlerFunc {
 }
 
 // serveMetricsText exposes the registry snapshot on /metrics: sorted
-// text by default, JSON with ?format=json or the .json path suffix.
+// text by default, JSON with ?format=json.
 func serveMetricsText(reg *obs.Registry) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Query().Get("format") == "json" || strings.HasSuffix(r.URL.Path, ".json") {
-			w.Header().Set("Content-Type", "application/json")
-			_, _ = w.Write(reg.SnapshotJSON())
+		if r.URL.Query().Get("format") == "json" {
+			serveMetricsJSON(reg)(w, r)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_, _ = w.Write(reg.Snapshot())
+	}
+}
+
+// serveMetricsJSON exposes the registry snapshot on /metrics.json:
+// always the JSON document, whatever the query string says.
+func serveMetricsJSON(reg *obs.Registry) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(reg.SnapshotJSON())
+	}
+}
+
+// serveAlerts exposes the alert engine on /alerts: the text dashboard
+// (summary, per-rule sparklines, transition tail) by default, the status
+// document with ?format=json, both narrowed by state= and severity=.
+func serveAlerts(al *alert.Engine) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		f := alert.Filter{State: q.Get("state"), Severity: q.Get("severity")}
+		if q.Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write(al.StatusJSON(f))
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write(al.RenderText(f))
+	}
+}
+
+// serveIndex answers / with a plain-text directory of the routes this
+// process actually registered, and 404s every other unclaimed path (the
+// "/" mux pattern would otherwise swallow typos with a 200).
+func serveIndex(routes [][2]string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "bsserve endpoints:")
+		for _, rt := range routes {
+			fmt.Fprintf(w, "  %-18s %s\n", rt[0], rt[1])
+		}
 	}
 }
 
@@ -170,8 +222,12 @@ func serveMetricsText(reg *obs.Registry) http.HandlerFunc {
 // load balancers expect between "process is up" and "safe to route
 // to". /debug/ (pprof, expvar) delegates to the default mux, where
 // those packages self-register.
-func newMux(reg *obs.Registry, win *obs.Window, tr *trace.Tracer, cont *prof.Continuous, eng *stream.Engine, ready *atomic.Bool) *http.ServeMux {
+func newMux(reg *obs.Registry, win *obs.Window, tr *trace.Tracer, cont *prof.Continuous, eng *stream.Engine, al *alert.Engine, ready *atomic.Bool) *http.ServeMux {
 	mux := http.NewServeMux()
+	routes := [][2]string{
+		{"/healthz", "liveness: 200 once serving HTTP"},
+		{"/readyz", "readiness: 503 until serving state loaded"},
+	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -187,24 +243,73 @@ func newMux(reg *obs.Registry, win *obs.Window, tr *trace.Tracer, cont *prof.Con
 	})
 	if reg != nil {
 		mux.HandleFunc("/metrics", serveMetricsText(reg))
-		mux.HandleFunc("/metrics.json", serveMetricsText(reg))
+		mux.HandleFunc("/metrics.json", serveMetricsJSON(reg))
+		routes = append(routes,
+			[2]string{"/metrics", "sorted metric snapshot (?format=json)"},
+			[2]string{"/metrics.json", "metric snapshot, always JSON"})
 	}
 	if win != nil {
 		mux.HandleFunc("/timeseries", serveTimeseries(win))
+		routes = append(routes, [2]string{"/timeseries", "bucketed series + sparklines (?format=json)"})
 	}
 	if tr != nil {
 		mux.HandleFunc("/traces", serveTraces(tr))
+		routes = append(routes, [2]string{"/traces", "recent span trees (originator=, rcode=, format=json)"})
 	}
 	if cont != nil {
 		h := cont.Handler()
 		mux.Handle("/profiles", h)
 		mux.Handle("/profiles/", h)
+		routes = append(routes, [2]string{"/profiles", "continuous-profiling ring listing + downloads"})
 	}
 	if eng != nil {
 		mux.HandleFunc("/stream", serveStream(eng))
+		routes = append(routes, [2]string{"/stream", "streaming-classifier snapshot (?format=json)"})
 	}
+	if al != nil {
+		mux.HandleFunc("/alerts", serveAlerts(al))
+		routes = append(routes, [2]string{"/alerts", "alert dashboard (state=, severity=, format=json)"})
+	}
+	routes = append(routes, [2]string{"/debug/", "expvar and pprof"})
 	mux.Handle("/debug/", http.DefaultServeMux)
+	mux.HandleFunc("/", serveIndex(routes))
 	return mux
+}
+
+// alertLoop re-evaluates the alert rules every tick against the live
+// window, trace ring, and stream status. The engine's watermark makes
+// repeated evaluation idempotent per bucket, so ticking faster than the
+// bucket width only costs the snapshot copy. Wall-clock pacing lives
+// here in the operational main; the alert package itself is clocked
+// purely by the bucket times in the data.
+func alertLoop(al *alert.Engine, win *obs.Window, tr *trace.Tracer, eng *stream.Engine, every time.Duration) {
+	for {
+		time.Sleep(every)
+		d := alert.Data{
+			Series:  win.Timeseries(),
+			Through: simtime.Wall(),
+		}
+		if tr != nil {
+			d.Exemplars = tr.Exemplars
+		}
+		if eng != nil {
+			d.Stream = eng.Status().Values()
+		}
+		al.Eval(d)
+	}
+}
+
+// loadAlertRules resolves the -alerts flag: the built-in rule set for
+// "default", otherwise a rule file parsed from disk.
+func loadAlertRules(spec string) ([]alert.Rule, error) {
+	if spec == "default" {
+		return alert.DefaultRules(), nil
+	}
+	src, err := os.ReadFile(spec)
+	if err != nil {
+		return nil, err
+	}
+	return alert.Parse(string(src))
 }
 
 // serveHTTP publishes the registry on expvar and runs the HTTP server
@@ -266,8 +371,15 @@ func main() {
 		streamOn   = flag.Bool("stream", false, "feed observed records through the streaming classification engine (served on /stream)")
 		streamEp   = flag.Duration("stream-epoch", time.Hour, "record-time re-scoring cadence of the streaming engine")
 		streamMax  = flag.Int("stream-max", 1<<16, "bound the streaming engine's tracked originators")
+		alertSpec  = flag.String("alerts", "", `evaluate this alert rule file against the live window (served on /alerts; "default" for the built-in rules); requires -http`)
+		alertEvery = flag.Duration("alert-every", 15*time.Second, "re-evaluation cadence of the alert rules")
 	)
 	flag.Parse()
+
+	if *alertSpec != "" && *httpAddr == "" {
+		fmt.Fprintln(os.Stderr, "bsserve: -alerts requires -http (the engine evaluates the HTTP window)")
+		os.Exit(2)
+	}
 
 	plan, err := backscatter.ParseFaults(*fspec)
 	if err != nil {
@@ -364,7 +476,19 @@ func main() {
 		if *streamOn {
 			eng = mkEngine(reg)
 		}
-		go serveHTTP(*httpAddr, newMux(reg, win, tr, cont, eng, &ready), reg)
+		var al *alert.Engine
+		if *alertSpec != "" {
+			rules, err := loadAlertRules(*alertSpec)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bsserve:", err)
+				os.Exit(2)
+			}
+			al = alert.New(rules)
+			fmt.Fprintf(os.Stderr, "bsserve: evaluating %d alert rules every %s on /alerts\n",
+				len(rules), *alertEvery)
+			go alertLoop(al, win, tr, eng, *alertEvery)
+		}
+		go serveHTTP(*httpAddr, newMux(reg, win, tr, cont, eng, al, &ready), reg)
 	} else if *streamOn {
 		eng = mkEngine(nil)
 	}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"dnsbackscatter/internal/alert"
 	"dnsbackscatter/internal/dnslog"
 	"dnsbackscatter/internal/geo"
 	"dnsbackscatter/internal/ipaddr"
@@ -31,7 +32,7 @@ func get(t *testing.T, mux *http.ServeMux, path string) (int, string) {
 // of readiness.
 func TestHealthz(t *testing.T) {
 	var ready atomic.Bool
-	mux := newMux(nil, nil, nil, nil, nil, &ready)
+	mux := newMux(nil, nil, nil, nil, nil, nil, &ready)
 	if code, body := get(t, mux, "/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
 		t.Fatalf("/healthz = %d %q", code, body)
 	}
@@ -42,7 +43,7 @@ func TestHealthz(t *testing.T) {
 // without one never reports ready).
 func TestReadyzFlips(t *testing.T) {
 	var ready atomic.Bool
-	mux := newMux(nil, nil, nil, nil, nil, &ready)
+	mux := newMux(nil, nil, nil, nil, nil, nil, &ready)
 	if code, body := get(t, mux, "/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "loading") {
 		t.Fatalf("before flip: /readyz = %d %q", code, body)
 	}
@@ -50,7 +51,7 @@ func TestReadyzFlips(t *testing.T) {
 	if code, body := get(t, mux, "/readyz"); code != http.StatusOK || !strings.Contains(body, "ready") {
 		t.Fatalf("after flip: /readyz = %d %q", code, body)
 	}
-	nilMux := newMux(nil, nil, nil, nil, nil, nil)
+	nilMux := newMux(nil, nil, nil, nil, nil, nil, nil)
 	if code, _ := get(t, nilMux, "/readyz"); code != http.StatusServiceUnavailable {
 		t.Fatalf("nil flag: /readyz = %d, want 503", code)
 	}
@@ -63,7 +64,7 @@ func TestMetricsAndTimeseries(t *testing.T) {
 	win := obs.NewWindow(simtime.Duration(60))
 	reg.SetWindow(win)
 	reg.Counter("served_records_total").IncAt(simtime.Time(5))
-	mux := newMux(reg, win, nil, nil, nil, nil)
+	mux := newMux(reg, win, nil, nil, nil, nil, nil)
 
 	if code, body := get(t, mux, "/metrics"); code != http.StatusOK || !strings.Contains(body, "served_records_total") {
 		t.Fatalf("/metrics = %d %q", code, body)
@@ -86,7 +87,7 @@ func TestMetricsAndTimeseries(t *testing.T) {
 // rejections.
 func TestTracesRoute(t *testing.T) {
 	tr := trace.New(1, 1)
-	mux := newMux(nil, nil, tr, nil, nil, nil)
+	mux := newMux(nil, nil, tr, nil, nil, nil, nil)
 	if code, body := get(t, mux, "/traces"); code != http.StatusOK || !strings.Contains(body, "traces held") {
 		t.Fatalf("/traces = %d %q", code, body)
 	}
@@ -112,7 +113,7 @@ func TestProfilesRoute(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mux := newMux(nil, nil, nil, cont, nil, nil)
+	mux := newMux(nil, nil, nil, cont, nil, nil, nil)
 
 	code, body := get(t, mux, "/profiles")
 	if code != http.StatusOK || !strings.Contains(body, name) {
@@ -146,7 +147,7 @@ func TestStreamRoute(t *testing.T) {
 	}
 	eng.Ingest(recs)
 	eng.Tick(simtime.Time(simtime.Hour))
-	mux := newMux(nil, nil, nil, nil, eng, nil)
+	mux := newMux(nil, nil, nil, nil, eng, nil, nil)
 
 	if code, body := get(t, mux, "/stream"); code != http.StatusOK || !strings.Contains(body, "originators") {
 		t.Fatalf("/stream = %d %q", code, body)
@@ -154,7 +155,7 @@ func TestStreamRoute(t *testing.T) {
 	if code, body := get(t, mux, "/stream?format=json"); code != http.StatusOK || !strings.Contains(body, "\"tracked\"") {
 		t.Fatalf("/stream?format=json = %d %q", code, body)
 	}
-	bare := newMux(nil, nil, nil, nil, nil, nil)
+	bare := newMux(nil, nil, nil, nil, nil, nil, nil)
 	if code, _ := get(t, bare, "/stream"); code != http.StatusNotFound {
 		t.Fatalf("/stream without engine = %d, want 404", code)
 	}
@@ -163,8 +164,108 @@ func TestStreamRoute(t *testing.T) {
 // TestProfilesUnmounted pins that a mux without a profiler 404s the
 // route instead of panicking.
 func TestProfilesUnmounted(t *testing.T) {
-	mux := newMux(nil, nil, nil, nil, nil, nil)
+	mux := newMux(nil, nil, nil, nil, nil, nil, nil)
 	if code, _ := get(t, mux, "/profiles"); code != http.StatusNotFound {
 		t.Fatalf("/profiles without ring = %d, want 404", code)
+	}
+}
+
+// getFull issues one in-process request and also returns the response
+// Content-Type.
+func getFull(t *testing.T, mux *http.ServeMux, path string) (int, string, string) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.String(), rec.Header().Get("Content-Type")
+}
+
+// TestIndexPage pins the / directory: it lists exactly the mounted
+// routes and 404s every unclaimed path instead of answering 200.
+func TestIndexPage(t *testing.T) {
+	reg := obs.NewRegistry()
+	win := obs.NewWindow(simtime.Duration(60))
+	reg.SetWindow(win)
+	mux := newMux(reg, win, nil, nil, nil, nil, nil)
+
+	code, body, ct := getFull(t, mux, "/")
+	if code != http.StatusOK || ct != "text/plain; charset=utf-8" {
+		t.Fatalf("/ = %d %q", code, ct)
+	}
+	for _, want := range []string{"/healthz", "/readyz", "/metrics", "/metrics.json", "/timeseries", "/debug/"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("index missing %s:\n%s", want, body)
+		}
+	}
+	for _, absent := range []string{"/traces", "/stream", "/alerts", "/profiles"} {
+		if strings.Contains(body, absent) {
+			t.Errorf("index lists unmounted %s:\n%s", absent, body)
+		}
+	}
+	if code, _, _ := getFull(t, mux, "/no-such-page"); code != http.StatusNotFound {
+		t.Fatalf("unknown path = %d, want 404", code)
+	}
+}
+
+// TestMetricsContentTypes pins the /metrics and /metrics.json contract:
+// text route serves sorted text (JSON only on ?format=json), the .json
+// route serves the JSON document unconditionally.
+func TestMetricsContentTypes(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("served_records_total").Inc()
+	mux := newMux(reg, nil, nil, nil, nil, nil, nil)
+
+	code, body, ct := getFull(t, mux, "/metrics")
+	if code != http.StatusOK || ct != "text/plain; charset=utf-8" {
+		t.Fatalf("/metrics = %d %q", code, ct)
+	}
+	if !strings.HasPrefix(body, "served_records_total") {
+		t.Fatalf("/metrics body = %q, want sorted text", body)
+	}
+
+	for _, path := range []string{"/metrics.json", "/metrics.json?format=text", "/metrics?format=json"} {
+		code, body, ct := getFull(t, mux, path)
+		if code != http.StatusOK || ct != "application/json" {
+			t.Fatalf("%s = %d %q", path, code, ct)
+		}
+		if !strings.HasPrefix(body, "{") || !strings.Contains(body, `"served_records_total"`) {
+			t.Fatalf("%s body = %q, want the JSON document", path, body)
+		}
+	}
+	if _, text, _ := getFull(t, mux, "/metrics"); text == "" {
+		t.Fatal("text render empty")
+	}
+}
+
+// TestAlertsRoute pins the /alerts mount: dashboard text, JSON status,
+// state/severity filters, and the 404 when -alerts is off.
+func TestAlertsRoute(t *testing.T) {
+	rules, err := alert.Parse("alert hot\n  expr window(m_total)\n  op >=\n  threshold 5\n  severity high\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	al := alert.New(rules)
+	al.Eval(alert.Data{Series: obs.Timeseries{Width: 60, Series: []obs.Series{
+		{Metric: "m_total", Points: []obs.Point{{T: 0, V: 9}}},
+	}}})
+	mux := newMux(nil, nil, nil, nil, nil, al, nil)
+
+	code, body, ct := getFull(t, mux, "/alerts")
+	if code != http.StatusOK || ct != "text/plain; charset=utf-8" || !strings.Contains(body, "hot") {
+		t.Fatalf("/alerts = %d %q %q", code, ct, body)
+	}
+	code, body, ct = getFull(t, mux, "/alerts?format=json")
+	if code != http.StatusOK || ct != "application/json" || !strings.Contains(body, `"firing"`) {
+		t.Fatalf("/alerts?format=json = %d %q %q", code, ct, body)
+	}
+	if _, body, _ := getFull(t, mux, "/alerts?state=pending"); strings.Contains(body, "state=firing") {
+		t.Fatalf("state filter leaked firing rule:\n%s", body)
+	}
+	if _, body, _ := getFull(t, mux, "/alerts?severity=low&format=json"); strings.Contains(body, `"hot"`) {
+		t.Fatalf("severity filter leaked high rule:\n%s", body)
+	}
+	bare := newMux(nil, nil, nil, nil, nil, nil, nil)
+	if code, _, _ := getFull(t, bare, "/alerts"); code != http.StatusNotFound {
+		t.Fatalf("/alerts without engine = %d, want 404", code)
 	}
 }

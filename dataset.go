@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"dnsbackscatter/internal/activity"
+	"dnsbackscatter/internal/alert"
 	"dnsbackscatter/internal/classify"
 	"dnsbackscatter/internal/dnslog"
 	"dnsbackscatter/internal/faults"
@@ -88,6 +89,15 @@ type DatasetSpec struct {
 	// batch instead. Output is byte-identical either way; the flag exists
 	// so invariance tests can prove it. Production runs leave it false.
 	NoReuse bool
+
+	// Alerts attaches a declarative alert/SLO rule file (the alerts.rules
+	// grammar; see ParseAlertRules) evaluated on demand by
+	// Dataset.Alerts against the build's windowed metrics and traces.
+	// "default" selects the built-in DefaultAlertRules; empty disables
+	// alerting (Dataset.Alerts returns a nil, fully no-op engine).
+	// Evaluation is clocked purely by simulated time, so the transition
+	// log is byte-identical at any worker count.
+	Alerts string
 }
 
 // Scaled returns a copy with populations and rates multiplied by f — the
@@ -124,6 +134,13 @@ func (s DatasetSpec) WithoutScratchReuse() DatasetSpec {
 // Trace).
 func (s DatasetSpec) WithTracing(n int) DatasetSpec {
 	s.Trace = n
+	return s
+}
+
+// WithAlerts returns a copy that evaluates the given alert/SLO rule
+// text ("default" for the built-in rules; see Alerts).
+func (s DatasetSpec) WithAlerts(rules string) DatasetSpec {
+	s.Alerts = rules
 	return s
 }
 
@@ -286,10 +303,11 @@ type Dataset struct {
 	// Labels is the expert curation over the whole span.
 	Labels *groundtruth.LabeledSet
 
-	whole  *Snapshot
-	obs    *obs.Registry    // non-nil when built with BuildObserved
-	tracer *trace.Tracer    // non-nil when built with tracing enabled
-	acct   *prof.Accountant // non-nil when built with BuildInstrumented
+	whole      *Snapshot
+	obs        *obs.Registry    // non-nil when built with BuildObserved
+	tracer     *trace.Tracer    // non-nil when built with tracing enabled
+	acct       *prof.Accountant // non-nil when built with BuildInstrumented
+	alertRules []alert.Rule     // parsed from Spec.Alerts, nil when disabled
 
 	truthOnce sync.Once
 	truth     map[Addr]Class
@@ -377,6 +395,17 @@ func BuildInstrumented(spec DatasetSpec, reg *obs.Registry, tr *trace.Tracer, ac
 		panic(fmt.Sprintf("backscatter: %v", err))
 	}
 	cfg.Faults = plan
+	var alertRules []alert.Rule
+	switch spec.Alerts {
+	case "":
+	case "default":
+		alertRules = alert.DefaultRules()
+	default:
+		alertRules, err = alert.Parse(spec.Alerts)
+		if err != nil {
+			panic(fmt.Sprintf("backscatter: %v", err))
+		}
+	}
 	if spec.Heartbleed {
 		hb := heartbleedBurst(cfg.ClassPopulation[Scan])
 		end := spec.Start.Add(spec.Duration)
@@ -393,7 +422,7 @@ func BuildInstrumented(spec DatasetSpec, reg *obs.Registry, tr *trace.Tracer, ac
 	w.SetTracer(tr)
 	w.Run()
 
-	d := &Dataset{Spec: spec, World: w, obs: reg, tracer: tr, acct: acct}
+	d := &Dataset{Spec: spec, World: w, obs: reg, tracer: tr, acct: acct, alertRules: alertRules}
 	switch spec.Authority {
 	case "jp":
 		d.Records = w.National["jp"].Records()

@@ -138,6 +138,77 @@ func (w *Window) series() Timeseries {
 	return doc
 }
 
+// Timeseries assembles the window's sorted snapshot document — the
+// parsed form of SnapshotJSON, for in-process consumers (the alert
+// engine) that query series without a marshal round-trip. Nil windows
+// return an empty document.
+func (w *Window) Timeseries() Timeseries { return w.series() }
+
+// Query returns one metric's windowed series with points in bucket
+// order, and whether the metric has recorded any bucket.
+func (w *Window) Query(metric string) (Series, bool) {
+	if w == nil {
+		return Series{}, false
+	}
+	w.mu.Lock()
+	src, ok := w.counters[metric]
+	if !ok {
+		src, ok = w.gauges[metric]
+	}
+	s := Series{Metric: metric, Points: make([]Point, 0, len(src))}
+	for t, v := range src {
+		s.Points = append(s.Points, Point{T: t, V: v})
+	}
+	w.mu.Unlock()
+	sort.Slice(s.Points, func(i, j int) bool { return s.Points[i].T < s.Points[j].T })
+	return s, ok
+}
+
+// Metrics returns the sorted identities of every windowed metric.
+func (w *Window) Metrics() []string {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	out := make([]string, 0, len(w.counters)+len(w.gauges))
+	for id := range w.counters {
+		out = append(out, id)
+	}
+	for id := range w.gauges {
+		out = append(out, id)
+	}
+	w.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// Query returns the named series from a parsed document (series are
+// sorted by identity, so the lookup is a binary search).
+func (ts Timeseries) Query(metric string) (Series, bool) {
+	i := sort.Search(len(ts.Series), func(i int) bool { return ts.Series[i].Metric >= metric })
+	if i < len(ts.Series) && ts.Series[i].Metric == metric {
+		return ts.Series[i], true
+	}
+	return Series{}, false
+}
+
+// Range returns the earliest and latest bucket starts across every
+// series in the document; ok is false for an empty document.
+func (ts Timeseries) Range() (lo, hi simtime.Time, ok bool) {
+	for _, s := range ts.Series {
+		if len(s.Points) == 0 {
+			continue
+		}
+		first, last := s.Points[0].T, s.Points[len(s.Points)-1].T
+		if !ok {
+			lo, hi, ok = first, last, true
+			continue
+		}
+		lo, hi = min(lo, first), max(hi, last)
+	}
+	return lo, hi, ok
+}
+
 // Snapshot renders the window as sorted text, one bucket per line:
 //
 //	dnssim_queries_total{level="root"}[2014-04-07T00:00:00Z] 42

@@ -99,6 +99,102 @@ func TestWindowWidthClamp(t *testing.T) {
 	if w := NewWindow(0); w.Width() != 1 {
 		t.Fatalf("Width = %d, want clamp to 1", w.Width())
 	}
+	// The clamp also guards the bucketing math: a clamped window still
+	// floors timestamps without dividing by zero.
+	w := NewWindow(-5)
+	if w.Width() != 1 {
+		t.Fatalf("Width = %d, want clamp to 1", w.Width())
+	}
+	w.add("m_total", 1, 42)
+	if s, ok := w.Query("m_total"); !ok || len(s.Points) != 1 || s.Points[0].T != 42 {
+		t.Fatalf("clamped-width write landed at %+v", s.Points)
+	}
+}
+
+// TestWindowEmptySnapshot pins the empty-window renders the alert
+// engine and /timeseries rely on: a well-formed document with zero
+// series, an empty text snapshot, and an empty Range.
+func TestWindowEmptySnapshot(t *testing.T) {
+	w := NewWindow(60)
+	if got := string(w.Snapshot()); got != "" {
+		t.Errorf("empty Snapshot = %q", got)
+	}
+	doc, err := ParseTimeseries(w.SnapshotJSON())
+	if err != nil {
+		t.Fatalf("empty SnapshotJSON does not parse: %v", err)
+	}
+	if doc.Width != 60 || len(doc.Series) != 0 {
+		t.Errorf("empty doc = %+v", doc)
+	}
+	if _, _, ok := w.Timeseries().Range(); ok {
+		t.Error("empty Range reported ok")
+	}
+	if got := w.Metrics(); len(got) != 0 {
+		t.Errorf("empty Metrics = %v", got)
+	}
+}
+
+// TestWindowOutOfOrderWrites pins that *At writes landing out of bucket
+// order (parallel workers commit in scheduling order) still render in
+// time order, byte-identically to the in-order run.
+func TestWindowOutOfOrderWrites(t *testing.T) {
+	build := func(times []int) *Window {
+		w := NewWindow(10)
+		for _, at := range times {
+			w.add("m_total", 1, simtime.Time(at))
+		}
+		return w
+	}
+	ordered := build([]int{3, 12, 25, 27, 48})
+	scrambled := build([]int{48, 25, 3, 27, 12})
+	if !bytes.Equal(ordered.SnapshotJSON(), scrambled.SnapshotJSON()) {
+		t.Fatal("bucket order depends on write order")
+	}
+	s, ok := scrambled.Query("m_total")
+	if !ok {
+		t.Fatal("metric missing")
+	}
+	for i := 1; i < len(s.Points); i++ {
+		if s.Points[i-1].T >= s.Points[i].T {
+			t.Fatalf("points unsorted: %+v", s.Points)
+		}
+	}
+	if lo, hi, ok := scrambled.Timeseries().Range(); !ok || lo != 0 || hi != 40 {
+		t.Fatalf("Range = (%d, %d, %v), want (0, 40, true)", lo, hi, ok)
+	}
+}
+
+// TestWindowQueryAPI pins the series-query surface: hit, miss, gauge
+// fallback, sorted Metrics, and the document-side binary search.
+func TestWindowQueryAPI(t *testing.T) {
+	w := NewWindow(10)
+	w.add("b_total", 2, 5)
+	w.add("b_total", 3, 15)
+	w.set("a_gauge", 7, 25)
+	if s, ok := w.Query("b_total"); !ok || len(s.Points) != 2 || s.Points[1].V != 3 {
+		t.Fatalf("counter query = %+v, %v", s, ok)
+	}
+	if s, ok := w.Query("a_gauge"); !ok || len(s.Points) != 1 || s.Points[0].V != 7 {
+		t.Fatalf("gauge query = %+v, %v", s, ok)
+	}
+	if _, ok := w.Query("missing"); ok {
+		t.Error("missing metric reported ok")
+	}
+	if got := w.Metrics(); len(got) != 2 || got[0] != "a_gauge" || got[1] != "b_total" {
+		t.Fatalf("Metrics = %v", got)
+	}
+	doc := w.Timeseries()
+	if s, ok := doc.Query("b_total"); !ok || len(s.Points) != 2 {
+		t.Fatalf("doc query = %+v, %v", s, ok)
+	}
+	if _, ok := doc.Query("zzz"); ok {
+		t.Error("doc query invented a series")
+	}
+	// Nil-window query surface.
+	var nilW *Window
+	if _, ok := nilW.Query("x"); ok || nilW.Metrics() != nil {
+		t.Error("nil window query surface not empty")
+	}
 }
 
 func TestWindowSnapshotDeterminism(t *testing.T) {

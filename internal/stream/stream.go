@@ -599,6 +599,25 @@ type Status struct {
 	Verdicts map[string]int `json:"verdicts"`
 }
 
+// Values flattens the status into named scalars keyed by the StatusJSON
+// field names — the source behind the alert engine's stream()
+// expressions. Values are read by key, never ranged, so the map leaks
+// no iteration order.
+func (s Status) Values() map[string]float64 {
+	return map[string]float64{
+		"epochs":      float64(s.Epochs),
+		"scored_at":   float64(s.ScoredAt),
+		"watermark":   float64(s.Watermark),
+		"records":     float64(s.Records),
+		"kept":        float64(s.Kept),
+		"tracked":     float64(s.Tracked),
+		"max_tracked": float64(s.MaxTracked),
+		"evictions":   float64(s.Evictions),
+		"analyzable":  float64(s.Analyzable),
+		"churn":       float64(s.Churn),
+	}
+}
+
 // Status assembles the engine's current Status.
 func (e *Engine) Status() Status {
 	e.mu.Lock()

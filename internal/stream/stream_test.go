@@ -306,3 +306,25 @@ func BenchmarkEngineIngest(b *testing.B) {
 		e.Ingest(recs)
 	}
 }
+
+// TestStatusValues pins the scalar flattening the alert engine's
+// stream() expressions read: every key present, values matching the
+// struct fields.
+func TestStatusValues(t *testing.T) {
+	s := Status{Epochs: 3, ScoredAt: 7200, Watermark: 7300, Records: 10,
+		Kept: 8, Tracked: 5, MaxTracked: 64, Evictions: 2, Analyzable: 4, Churn: 6}
+	v := s.Values()
+	want := map[string]float64{
+		"epochs": 3, "scored_at": 7200, "watermark": 7300, "records": 10,
+		"kept": 8, "tracked": 5, "max_tracked": 64, "evictions": 2,
+		"analyzable": 4, "churn": 6,
+	}
+	if len(v) != len(want) {
+		t.Fatalf("Values has %d keys, want %d: %v", len(v), len(want), v)
+	}
+	for k, w := range want {
+		if v[k] != w {
+			t.Errorf("Values[%q] = %v, want %v", k, v[k], w)
+		}
+	}
+}

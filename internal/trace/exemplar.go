@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"sort"
+
+	"dnsbackscatter/internal/simtime"
+)
+
+// Exemplar references one worst-offending lookup for alert annotation:
+// the trace's identity and start plus the two "how bad" axes — total
+// simulated duration and whether the resolver abandoned it.
+type Exemplar struct {
+	// ID is the trace's hash-derived identity.
+	ID ID `json:"trace"`
+	// T0 is when the lookup began.
+	T0 simtime.Time `json:"t0"`
+	// Dur is the lookup's total simulated duration (the done event's).
+	Dur simtime.Duration `json:"dur"`
+	// GiveUp reports whether any resolver tier abandoned the lookup.
+	GiveUp bool `json:"giveup,omitempty"`
+}
+
+// exemplarLess is the total order worst-first selection uses: abandoned
+// lookups first, then longest duration, ties broken by ID. Because the
+// order is total over (GiveUp, Dur, ID), a selection over the same
+// trace multiset is deterministic regardless of commit order.
+func exemplarLess(a, b Exemplar) bool {
+	if a.GiveUp != b.GiveUp {
+		return a.GiveUp
+	}
+	if a.Dur != b.Dur {
+		return a.Dur > b.Dur
+	}
+	return a.ID < b.ID
+}
+
+// ExemplarsOf selects the n worst traces among ts whose lookups started
+// in [from, to) — the offline form, for replaying a parsed traces.jsonl
+// artifact against alert rules.
+func ExemplarsOf(ts []Trace, from, to simtime.Time, n int) []Exemplar {
+	if n <= 0 {
+		return nil
+	}
+	var out []Exemplar
+	for _, t := range ts {
+		if t.T0 < from || t.T0 >= to {
+			continue
+		}
+		ex := Exemplar{ID: t.ID, T0: t.T0}
+		for _, ev := range t.Events {
+			switch ev.Kind {
+			case KindGiveUp:
+				ex.GiveUp = true
+			case KindDone:
+				ex.Dur = ev.Dur
+			}
+		}
+		out = append(out, ex)
+	}
+	sort.Slice(out, func(i, j int) bool { return exemplarLess(out[i], out[j]) })
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Exemplars selects the n worst committed traces starting in [from, to)
+// — the alert engine's live trace join. A nil tracer returns nil, so
+// the method value is a safe Data.Exemplars hook even with tracing off.
+func (t *Tracer) Exemplars(from, to simtime.Time, n int) []Exemplar {
+	if t == nil {
+		return nil
+	}
+	traces, _ := t.committed()
+	return ExemplarsOf(traces, from, to, n)
+}
+
+// MergeExemplars merges pre-selected per-tracer lists into the n worst
+// overall, under the same total order ExemplarsOf uses — for callers
+// joining several datasets' tracers into one alert evaluation.
+func MergeExemplars(n int, lists ...[]Exemplar) []Exemplar {
+	if n <= 0 {
+		return nil
+	}
+	var all []Exemplar
+	for _, l := range lists {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return exemplarLess(all[i], all[j]) })
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all
+}

@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"testing"
+
+	"dnsbackscatter/internal/ipaddr"
+	"dnsbackscatter/internal/simtime"
+)
+
+// finishLookup commits one synthetic trace: started at t0, done after
+// dur, optionally abandoned.
+func finishLookup(t *Tracer, querier, orig ipaddr.Addr, t0 simtime.Time, dur simtime.Duration, giveup bool) ID {
+	c := t.Begin(querier, orig, t0)
+	c.Query("final", 1, t0)
+	if giveup {
+		c.GiveUp("final", t0.Add(dur))
+	}
+	c.Finish(t0.Add(dur), 1)
+	return c.ID()
+}
+
+// TestExemplarsWorstFirst pins the selection order: give-ups before
+// slow lookups before fast ones, duration descending, ties by ID — and
+// the [from, to) time fence.
+func TestExemplarsWorstFirst(t *testing.T) {
+	tr := New(7, 1)
+	fast := finishLookup(tr, 1, 101, 100, 1, false)
+	slow := finishLookup(tr, 2, 102, 110, 30, false)
+	gone := finishLookup(tr, 3, 103, 120, 10, true)
+	finishLookup(tr, 4, 104, 500, 99, true) // outside [100, 200)
+
+	got := tr.Exemplars(100, 200, 10)
+	if len(got) != 3 {
+		t.Fatalf("got %d exemplars: %+v", len(got), got)
+	}
+	if got[0].ID != gone || !got[0].GiveUp {
+		t.Errorf("worst = %+v, want give-up %s", got[0], gone)
+	}
+	if got[1].ID != slow || got[1].Dur != 30 {
+		t.Errorf("second = %+v, want slow %s", got[1], slow)
+	}
+	if got[2].ID != fast {
+		t.Errorf("third = %+v, want fast %s", got[2], fast)
+	}
+
+	if top := tr.Exemplars(100, 200, 1); len(top) != 1 || top[0].ID != gone {
+		t.Errorf("n=1 = %+v, want just the give-up", top)
+	}
+	if none := tr.Exemplars(100, 200, 0); none != nil {
+		t.Errorf("n=0 = %+v, want nil", none)
+	}
+}
+
+// TestExemplarsNilTracer pins that a nil tracer's method value is a
+// safe no-op hook.
+func TestExemplarsNilTracer(t *testing.T) {
+	var tr *Tracer
+	hook := tr.Exemplars
+	if got := hook(0, 1000, 5); got != nil {
+		t.Fatalf("nil tracer exemplars = %+v", got)
+	}
+}
+
+// TestMergeExemplars pins the cross-tracer merge: one total order over
+// the concatenation, truncated to n.
+func TestMergeExemplars(t *testing.T) {
+	a := []Exemplar{{ID: 1, Dur: 5}, {ID: 2, Dur: 50}}
+	b := []Exemplar{{ID: 3, Dur: 20, GiveUp: true}}
+	got := MergeExemplars(2, a, b)
+	if len(got) != 2 || got[0].ID != 3 || got[1].ID != 2 {
+		t.Fatalf("merge = %+v", got)
+	}
+	if MergeExemplars(0, a) != nil {
+		t.Fatal("n=0 merge not nil")
+	}
+}
